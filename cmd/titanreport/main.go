@@ -1,0 +1,84 @@
+// Command titanreport runs the full study — simulate the production
+// period, analyze the logs — and prints every figure and table of the
+// paper, followed by the automated checks of its fourteen observations.
+//
+// Usage:
+//
+//	titanreport [-seed N] [-months M] [-obs-only] [-data DIR]
+//
+// With -data, the report is computed from a dataset directory written by
+// titansim instead of running a fresh simulation — the console log is
+// re-parsed through the SEC rules, exactly like the production pipeline.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"titanre/internal/core"
+	"titanre/internal/dataset"
+	"titanre/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	months := flag.Int("months", 0, "shorten the horizon to M months (0 = full Jun'13..Feb'15)")
+	obsOnly := flag.Bool("obs-only", false, "print only the observation checks")
+	digest := flag.Bool("digest", false, "print the monthly operations digest instead of the full report")
+	export := flag.String("export", "", "also write per-figure TSV data files into this directory")
+	data := flag.String("data", "", "analyze a dataset directory written by titansim instead of simulating")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	if *months > 0 {
+		cfg.End = cfg.Start.AddDate(0, *months, 0)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var study *core.Study
+	if *data != "" {
+		if *months == 0 {
+			// Infer the observation window from the data itself.
+			cfg.Start, cfg.End = time.Time{}, time.Time{}
+		}
+		res, err := dataset.Load(*data, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "titanreport:", err)
+			os.Exit(1)
+		}
+		study = core.FromResult(res)
+	} else {
+		study = core.New(cfg)
+	}
+
+	if *export != "" {
+		if err := study.ExportFigures(*export); err != nil {
+			fmt.Fprintln(os.Stderr, "titanreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figure data written to %s\n", *export)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *digest {
+		study.WriteMonthlyDigest(w)
+		return
+	}
+	if *obsOnly {
+		for _, oc := range study.CheckObservations() {
+			status := "PASS"
+			if !oc.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "[%s] Obs %2d: %s\n        %s\n", status, oc.Number, oc.Claim, oc.Detail)
+		}
+		return
+	}
+	study.WriteReport(w)
+}

@@ -1,0 +1,68 @@
+// Command titansim generates the synthetic Titan field dataset and writes
+// the three artifacts the study analyzes (plus the final machine sweep):
+//
+//	console.log   raw console lines, SEC-parseable
+//	jobs.tsv      the batch job log with node allocations
+//	samples.tsv   per-job nvidia-smi SBE samples (final sampling window)
+//	snapshot.tsv  the machine-wide nvidia-smi sweep at the end
+//
+// Usage:
+//
+//	titansim [-seed N] [-months M] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"titanre/internal/dataset"
+	"titanre/internal/sim"
+	"titanre/internal/xid"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	months := flag.Int("months", 0, "shorten the horizon to M months (0 = full Jun'13..Feb'15)")
+	out := flag.String("out", "titan-dataset", "output directory")
+	summary := flag.Bool("summary", false, "print per-XID counts instead of writing files")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	if *months > 0 {
+		cfg.End = cfg.Start.AddDate(0, *months, 0)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t0 := time.Now()
+	res := sim.Run(cfg)
+	fmt.Fprintf(os.Stderr, "simulated %s..%s in %v: %d jobs, %d console events, %d samples\n",
+		cfg.Start.Format("2006-01"), cfg.End.Format("2006-01"), time.Since(t0).Round(time.Millisecond),
+		len(res.Jobs), len(res.Events), len(res.Samples))
+
+	if *summary {
+		counts := map[xid.Code]int{}
+		for _, e := range res.Events {
+			counts[e.Code]++
+		}
+		for _, info := range xid.All() {
+			fmt.Printf("%-8v %d\n", info.Code, counts[info.Code])
+		}
+		return
+	}
+
+	if err := dataset.Write(*out, res); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "titansim:", err)
+	os.Exit(1)
+}

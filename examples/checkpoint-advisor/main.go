@@ -1,0 +1,121 @@
+// Checkpoint advisor: turn measured GPU failure rates into checkpoint
+// intervals.
+//
+// The paper motivates its measurements with exactly this use: "HPC
+// workloads are typically fairly long running simulations that often rely
+// on checkpointing ... understanding the characteristics of GPU related
+// errors are likely to benefit both system operators, designers, and end
+// users." This example measures the fatal-interrupt MTBF from the
+// synthetic field data (double bit errors, off-the-bus events, and
+// crash-causing driver errors all kill the application) and applies the
+// Young/Daly optimum to pick checkpoint intervals for jobs of different
+// sizes.
+//
+//	go run ./examples/checkpoint-advisor
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"titanre"
+)
+
+func main() {
+	cfg := titanre.DefaultConfig()
+	cfg.Seed = 7
+	cfg.End = cfg.Start.AddDate(0, 8, 0) // eight months of field data
+	fmt.Println("measuring fatal-interrupt rates from eight months of field data...")
+	study := titanre.NewStudy(cfg)
+
+	// Count machine-wide fatal hardware interrupts: console events from
+	// the paper's Table 1 (hardware class) that crash the application —
+	// DBEs, off-the-bus events, video memory faults. Application and
+	// driver errors are excluded: they follow the *job*, not the
+	// machine, so they don't belong in a hardware-MTBF model.
+	fatal := 0
+	for _, info := range titanre.HardwareErrorTable() {
+		if !info.CrashesApp {
+			continue
+		}
+		fatal += len(study.EventsOf(info.Code))
+	}
+	hours := cfg.End.Sub(cfg.Start).Hours()
+	machineMTBF := hours / float64(fatal)
+	fmt.Printf("  fatal hardware interrupts: %d over %.0f h\n", fatal, hours)
+	fmt.Printf("  machine-wide MTBF:         %.0f h\n", machineMTBF)
+
+	// A job on N of the 18,688 GPUs sees a proportional slice of the
+	// machine-wide hazard.
+	const machineGPUs = 18688
+	fmt.Println("\nYoung/Daly optimal checkpoint intervals (checkpoint cost C):")
+	fmt.Printf("%8s %14s %12s %12s %12s\n", "nodes", "job MTBF", "C=2 min", "C=10 min", "C=30 min")
+	for _, nodes := range []int{256, 1024, 4096, 9344, 18688} {
+		jobMTBF := machineMTBF * machineGPUs / float64(nodes)
+		row := fmt.Sprintf("%8d %12.0f h", nodes, jobMTBF)
+		for _, c := range []time.Duration{2 * time.Minute, 10 * time.Minute, 30 * time.Minute} {
+			row += fmt.Sprintf(" %11s", young(jobMTBF, c))
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nwasted-time fractions at the optimum (checkpoint + expected rework):")
+	for _, nodes := range []int{1024, 18688} {
+		jobMTBF := machineMTBF * machineGPUs / float64(nodes)
+		c := 10 * time.Minute
+		tau := youngHours(jobMTBF, c)
+		waste := c.Hours()/tau + tau/(2*jobMTBF)
+		fmt.Printf("  %6d nodes, C=10 min: interval %s, overhead %.1f%%\n",
+			nodes, fmtHours(tau), 100*waste)
+	}
+
+	// Validate against the real interrupt trace instead of the Poisson
+	// assumption: replay a full-machine campaign (every fatal hardware
+	// interrupt hits it) through the exact checkpoint simulator.
+	fmt.Println("\ntrace-driven validation: 336 h full-machine campaign, C = 10 min:")
+	var trace []time.Duration
+	for _, info := range titanre.HardwareErrorTable() {
+		if !info.CrashesApp {
+			continue
+		}
+		for _, e := range study.EventsOf(info.Code) {
+			trace = append(trace, e.Time.Sub(cfg.Start))
+		}
+	}
+	const c = 10 * time.Minute
+	const restart = 15 * time.Minute
+	mtbfDur := time.Duration(machineMTBF * float64(time.Hour))
+	candidates := map[string]time.Duration{
+		"Young ": titanre.YoungInterval(mtbfDur, c),
+		"Daly  ": titanre.DalyInterval(mtbfDur, c),
+		"naive ": 24 * time.Hour,
+		"eager ": 30 * time.Minute,
+	}
+	for _, name := range []string{"Young ", "Daly  ", "naive ", "eager "} {
+		iv := candidates[name]
+		st, err := titanre.SimulateCheckpoints(336*time.Hour, iv, c, restart, trace)
+		if err != nil {
+			fmt.Println("simulate:", err)
+			return
+		}
+		fmt.Printf("  %s interval %8s: makespan %6.0f h, %3d failures survived, efficiency %.1f%%\n",
+			name, fmtHours(iv.Hours()), st.Makespan.Hours(), st.Failures, 100*st.Efficiency)
+	}
+}
+
+// youngHours returns the Young approximation sqrt(2*C*MTBF) in hours.
+func youngHours(mtbfHours float64, c time.Duration) float64 {
+	return math.Sqrt(2 * c.Hours() * mtbfHours)
+}
+
+func young(mtbfHours float64, c time.Duration) string {
+	return fmtHours(youngHours(mtbfHours, c))
+}
+
+func fmtHours(h float64) string {
+	if h >= 2 {
+		return fmt.Sprintf("%.1f h", h)
+	}
+	return fmt.Sprintf("%.0f min", h*60)
+}

@@ -1,0 +1,62 @@
+// Hot-spare policy study: quantify OLCF's practice of pulling GPUs that
+// encounter double bit errors out of production.
+//
+// The paper: "We identify cards which incur double bit errors and put
+// them out of the production use ... It is expected that swapping out
+// error-prone cards will lead to improved system MTBF. However, we note
+// that accurately quantifying the impact of such replacement is often
+// very hard." With a simulator the counterfactual is cheap: run the same
+// period with the policy off, at threshold 1, and at threshold 2, and
+// compare repeat-DBE exposure.
+//
+//	go run ./examples/hotspare-policy
+package main
+
+import (
+	"fmt"
+
+	"titanre"
+)
+
+func main() {
+	fmt.Println("running the same full production period under three hot-spare policies...")
+	fmt.Printf("%12s %8s %14s %16s %14s %12s\n",
+		"policy", "DBEs", "cards pulled", "repeat-DBE cards", "max DBEs/card", "DBE MTBF")
+
+	for _, threshold := range []int{0, 1, 2} {
+		cfg := titanre.DefaultConfig()
+		cfg.Seed = 99 // same seed: identical fault pressure
+		cfg.HotSpareThreshold = threshold
+		study := titanre.NewStudy(cfg)
+
+		dbes := study.EventsOf(titanre.DoubleBitErrorXID)
+		perCard := map[uint32]int{}
+		for _, e := range dbes {
+			perCard[uint32(e.Serial)]++
+		}
+		repeats, maxPerCard := 0, 0
+		for _, n := range perCard {
+			if n > 1 {
+				repeats++
+			}
+			if n > maxPerCard {
+				maxPerCard = n
+			}
+		}
+		mtbf, _ := study.DBEMTBF()
+		name := fmt.Sprintf("threshold %d", threshold)
+		if threshold == 0 {
+			name = "disabled"
+		}
+		fmt.Printf("%12s %8d %14d %16d %14d %10.0f h\n",
+			name, len(dbes), len(study.Result.Fleet.HotSpareCluster()), repeats, maxPerCard, mtbf.Hours())
+	}
+
+	fmt.Println("\nnotes:")
+	fmt.Println("  - a small population of inherently DBE-prone cards exists; without the")
+	fmt.Println("    policy they keep erroring in production (high max DBEs/card);")
+	fmt.Println("  - pulling at threshold 1 removes every error-encountering card at the")
+	fmt.Println("    cost of many swaps; threshold 2 pulls confirmed repeat offenders;")
+	fmt.Println("  - the machine-wide MTBF moves little either way — exactly the paper's")
+	fmt.Println("    point that the benefit of replacement is hard to quantify.")
+}

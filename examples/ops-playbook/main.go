@@ -1,0 +1,45 @@
+// Ops playbook: the workflow an on-call operator runs over the synthetic
+// field data — the monthly digest, the streaming alerts, and the
+// hot-spare watch list. Everything here also works from a dataset on
+// disk (titansim -out, then titanreport -digest / xidtool alerts).
+//
+//	go run ./examples/ops-playbook
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"titanre"
+)
+
+func main() {
+	cfg := titanre.DefaultConfig()
+	cfg.Seed = 4
+	cfg.End = cfg.Start.AddDate(0, 9, 0) // nine months on call
+	fmt.Println("simulating nine months of production...")
+	study := titanre.NewStudy(cfg)
+
+	study.WriteMonthlyDigest(os.Stdout)
+
+	fmt.Println("\nalerts raised during the period:")
+	alerts := study.Alerts(titanre.DefaultAlertConfig())
+	shown := 0
+	perKind := map[string]int{}
+	for _, a := range alerts {
+		perKind[a.Kind.String()]++
+		// The new-code flood at day one is setup noise; show the rest.
+		if a.Kind.String() == "new-code" {
+			continue
+		}
+		if shown < 12 {
+			fmt.Printf("  %s\n", a)
+			shown++
+		}
+	}
+	fmt.Printf("  ... %d alerts total:", len(alerts))
+	for kind, n := range perKind {
+		fmt.Printf(" %s=%d", kind, n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,62 @@
+// Quickstart: simulate a short production period on the synthetic Titan,
+// print the headline reliability numbers, and check the paper's
+// observations that are measurable on a short horizon.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"titanre"
+)
+
+func main() {
+	cfg := titanre.DefaultConfig()
+	cfg.Seed = 2025
+	// Six months is enough to see every mechanism at least once; pull
+	// the operational epochs inside the window.
+	cfg.End = cfg.Start.AddDate(0, 6, 0)
+	cfg.RetirementDriver = cfg.Start.AddDate(0, 1, 0)
+	cfg.DriverUpgrade = cfg.Start.AddDate(0, 3, 0)
+	cfg.OTBFix = cfg.Start.AddDate(0, 4, 0)
+
+	fmt.Println("simulating six months of Titan production...")
+	study := titanre.NewStudy(cfg)
+
+	res := study.Result
+	fmt.Printf("  jobs scheduled:   %d (%.1fM node-hours)\n", len(res.Jobs), res.NodeHours/1e6)
+	fmt.Printf("  console events:   %d\n", len(res.Events))
+	fmt.Printf("  per-job samples:  %d\n", len(res.Samples))
+
+	if mtbf, err := study.DBEMTBF(); err == nil {
+		fmt.Printf("  DBE MTBF:         %.0f hours (paper: ~160 h)\n", mtbf.Hours())
+	}
+	fmt.Printf("  corrected SBEs:   %d (%.0f per day)\n",
+		res.TrueSBECount, float64(res.TrueSBECount)/cfg.End.Sub(cfg.Start).Hours()*24)
+
+	sk := study.Fig14SBESkew()
+	fmt.Printf("  SBE skew:         %.1f%% of cards affected, top 10 carry %.0f%%\n",
+		100*sk.AffectedFraction, 100*sk.Top10Share)
+
+	cages := study.Fig3bDBECages()
+	fmt.Printf("  DBEs by cage:     bottom %d / middle %d / top %d (heat rises)\n",
+		cages.All[0], cages.All[1], cages.All[2])
+
+	fmt.Println("\nobservation checks:")
+	for _, oc := range study.CheckObservations() {
+		mark := "ok  "
+		if !oc.Pass {
+			mark = "n/a " // several observations need the full 21 months
+		}
+		fmt.Printf("  [%s] %2d %s\n", mark, oc.Number, oc.Claim)
+	}
+
+	fmt.Println("\nfirst five double bit errors in the console log:")
+	for i, e := range study.EventsOf(48) {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s\n", e.Raw())
+	}
+}

@@ -1,0 +1,61 @@
+// Soft-error vulnerability study: fault-injection campaigns over small
+// kernels, quantifying what the paper's Section 2.1 describes — SECDED
+// covers the big memory structures (single-bit errors corrected, double
+// bit errors detected and crashed), but the unprotected dispatch and
+// scheduling logic "opens up the possibility of a soft-error causing
+// side-effects (crash or silent data corruption), but still not being
+// caught by the ECC mechanism".
+//
+//	go run ./examples/soft-error-avf
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"titanre/internal/inject"
+)
+
+func main() {
+	const trials = 2000
+	kernels := []*inject.Kernel{
+		inject.VecAdd(64),
+		inject.Reduce(128),
+		inject.MatMul(8),
+	}
+	for _, k := range kernels {
+		fmt.Printf("kernel %s:\n", k.Name)
+		for _, mode := range []struct {
+			name string
+			ecc  inject.ECCMode
+		}{
+			{"ECC on  (K20X, Titan)", inject.ECCOn},
+			{"ECC off (older GPUs) ", inject.ECCOff},
+		} {
+			rng := rand.New(rand.NewSource(42))
+			results, err := inject.Campaign(rng, k, trials, mode.ecc, 0.03)
+			if err != nil {
+				fmt.Println("campaign:", err)
+				return
+			}
+			fmt.Printf("  %s\n", mode.name)
+			for _, r := range results {
+				fmt.Printf("    %-24s masked %5.1f%%  corrected %5.1f%%  detected %4.1f%%  SDC %5.1f%%  crash/hang %4.1f%%\n",
+					r.Target,
+					100*r.Rate(inject.Masked),
+					100*r.Rate(inject.Corrected),
+					100*r.Rate(inject.DetectedCrash),
+					100*r.Rate(inject.SDC),
+					100*(r.Rate(inject.Crash)+r.Rate(inject.Hang)))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading the table:")
+	fmt.Println("  - with ECC on (Titan), register/memory upsets become corrected SBEs or")
+	fmt.Println("    detected DBE crashes — never silent corruption; only the unprotected")
+	fmt.Println("    pipeline leaks SDCs and crashes past the ECC, exactly the residual")
+	fmt.Println("    risk the paper calls out (its area, and hence its rate, is small);")
+	fmt.Println("  - with ECC off, device-memory upsets corrupt results outright, the")
+	fmt.Println("    order-of-magnitude difference Haque & Pande measured on older GPUs.")
+}

@@ -1,0 +1,3 @@
+module titanre
+
+go 1.22

@@ -1,0 +1,201 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+var t0 = time.Date(2013, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func ev(hours float64, code xid.Code, node topology.NodeID, serial gpu.Serial, job console.JobID) console.Event {
+	return console.Event{
+		Time: t0.Add(time.Duration(hours * float64(time.Hour))),
+		Code: code, Node: node, Serial: serial, Job: job, Page: console.NoPage,
+	}
+}
+
+func quietConfig() Config {
+	return Config{
+		DBEThreshold: 2,
+		BurstWindow:  24 * time.Hour,
+		BurstCount:   3,
+		BurstCodes:   []xid.Code{xid.OffTheBus},
+		SuspectJobs:  3,
+		NewCodes:     false,
+	}
+}
+
+func TestCardDBEThreshold(t *testing.T) {
+	e := NewEngine(quietConfig())
+	e.Feed(ev(0, xid.DoubleBitError, 10, 77, 1))
+	if len(e.OfKind(CardDBEThreshold)) != 0 {
+		t.Fatal("fired below threshold")
+	}
+	e.Feed(ev(100, xid.DoubleBitError, 10, 77, 2))
+	got := e.OfKind(CardDBEThreshold)
+	if len(got) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(got))
+	}
+	if got[0].Serial != 77 || got[0].Count != 2 {
+		t.Errorf("alert = %+v", got[0])
+	}
+	// No duplicate alert on the third DBE.
+	e.Feed(ev(200, xid.DoubleBitError, 10, 77, 3))
+	if len(e.OfKind(CardDBEThreshold)) != 1 {
+		t.Error("duplicate card alert")
+	}
+	// A different card alerts independently.
+	e.Feed(ev(300, xid.DoubleBitError, 11, 88, 4))
+	e.Feed(ev(301, xid.DoubleBitError, 11, 88, 5))
+	if len(e.OfKind(CardDBEThreshold)) != 2 {
+		t.Error("second card did not alert")
+	}
+}
+
+func TestBurstDetection(t *testing.T) {
+	e := NewEngine(quietConfig())
+	// Two OTBs in a day: quiet.
+	e.Feed(ev(0, xid.OffTheBus, 1, 1, 0))
+	e.Feed(ev(5, xid.OffTheBus, 2, 2, 0))
+	if len(e.OfKind(Burst)) != 0 {
+		t.Fatal("premature burst alert")
+	}
+	// Third within the window: alert.
+	e.Feed(ev(10, xid.OffTheBus, 3, 3, 0))
+	if len(e.OfKind(Burst)) != 1 {
+		t.Fatal("burst not detected")
+	}
+	// Continued storm inside the mute window: no spam.
+	e.Feed(ev(11, xid.OffTheBus, 4, 4, 0))
+	e.Feed(ev(12, xid.OffTheBus, 5, 5, 0))
+	if len(e.OfKind(Burst)) != 1 {
+		t.Error("burst alert spammed")
+	}
+	// A separate storm much later re-alerts.
+	e.Feed(ev(500, xid.OffTheBus, 6, 6, 0))
+	e.Feed(ev(501, xid.OffTheBus, 7, 7, 0))
+	e.Feed(ev(502, xid.OffTheBus, 8, 8, 0))
+	if len(e.OfKind(Burst)) != 2 {
+		t.Error("second storm not re-alerted")
+	}
+	// Codes outside BurstCodes never burst-alert.
+	for i := 0; i < 10; i++ {
+		e.Feed(ev(600+float64(i)/10, 44, 9, 9, 0))
+	}
+	if len(e.OfKind(Burst)) != 2 {
+		t.Error("non-burstable code alerted")
+	}
+}
+
+func TestBurstWindowExpiry(t *testing.T) {
+	e := NewEngine(quietConfig())
+	// Three OTBs spread over three days: never three in one window.
+	e.Feed(ev(0, xid.OffTheBus, 1, 1, 0))
+	e.Feed(ev(30, xid.OffTheBus, 2, 2, 0))
+	e.Feed(ev(60, xid.OffTheBus, 3, 3, 0))
+	if len(e.OfKind(Burst)) != 0 {
+		t.Error("stale events counted toward burst")
+	}
+}
+
+func TestNewCodeAlert(t *testing.T) {
+	cfg := quietConfig()
+	cfg.NewCodes = true
+	e := NewEngine(cfg)
+	e.Feed(ev(0, 13, 1, 1, 1))
+	e.Feed(ev(1, 13, 2, 2, 2))
+	e.Feed(ev(2, xid.ECCPageRetirement, 3, 3, 0))
+	got := e.OfKind(NewCode)
+	if len(got) != 2 {
+		t.Fatalf("new-code alerts = %d, want 2 (13 and 63)", len(got))
+	}
+	if !strings.Contains(got[1].Detail, "SEC rules") {
+		t.Errorf("detail = %q", got[1].Detail)
+	}
+}
+
+func TestSuspectNodeObservation8(t *testing.T) {
+	e := NewEngine(quietConfig())
+	// XID 13 on the same node across three distinct jobs: suspect.
+	e.Feed(ev(0, 13, 42, 9, 101))
+	e.Feed(ev(10, 13, 42, 9, 102))
+	if len(e.OfKind(SuspectNode)) != 0 {
+		t.Fatal("premature suspect alert")
+	}
+	e.Feed(ev(20, 13, 42, 9, 103))
+	got := e.OfKind(SuspectNode)
+	if len(got) != 1 {
+		t.Fatalf("suspect alerts = %d, want 1", len(got))
+	}
+	if got[0].Node != 42 || got[0].Count != 3 {
+		t.Errorf("alert = %+v", got[0])
+	}
+	if !strings.Contains(got[0].Detail, "Observation 8") {
+		t.Errorf("detail = %q", got[0].Detail)
+	}
+	// Repeats on the same job do not count twice.
+	e2 := NewEngine(quietConfig())
+	for i := 0; i < 10; i++ {
+		e2.Feed(ev(float64(i), 13, 42, 9, 101))
+	}
+	if len(e2.OfKind(SuspectNode)) != 0 {
+		t.Error("same-job repeats must not make a node suspect")
+	}
+	// Driver codes never mark a node suspect.
+	e3 := NewEngine(quietConfig())
+	for j := 0; j < 5; j++ {
+		e3.Feed(ev(float64(j), 44, 42, 9, console.JobID(200+j)))
+	}
+	if len(e3.OfKind(SuspectNode)) != 0 {
+		t.Error("driver-only code marked node suspect")
+	}
+}
+
+func TestRunAndStrings(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEngine(cfg)
+	var events []console.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, ev(float64(i)/2, xid.OffTheBus, topology.NodeID(i), gpu.Serial(i+1), 0))
+	}
+	e.Run(events)
+	alerts := e.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no alerts from an OTB storm under default config")
+	}
+	for _, a := range alerts {
+		if a.String() == "" || a.Kind.String() == "" {
+			t.Fatal("alert rendering broken")
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestSuspectNodeIgnoresPropagation(t *testing.T) {
+	// Observation 7: one incident is reported on every node of the job.
+	// Only the faulting node (first report) may accumulate suspicion;
+	// the propagated copies must not make innocent nodes suspect.
+	e := NewEngine(quietConfig())
+	for job := console.JobID(1); job <= 10; job++ {
+		// Faulting node 42 logs first, then the storm on nodes 100..110.
+		e.Feed(ev(float64(job)*10, 13, 42, 9, job))
+		for n := topology.NodeID(100); n < 110; n++ {
+			e.Feed(ev(float64(job)*10+0.001, 13, n, gpu.Serial(n), job))
+		}
+	}
+	got := e.OfKind(SuspectNode)
+	if len(got) != 1 {
+		t.Fatalf("suspect alerts = %d, want only the faulting node", len(got))
+	}
+	if got[0].Node != 42 {
+		t.Errorf("suspect node = %d, want 42", got[0].Node)
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/nvsmi"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// CardHealth is the composite risk picture of one installed card, built
+// from the two sources the paper reconciles: nvidia-smi counters (SBEs,
+// retired pages) and console history (DBEs). It drives the hot-spare
+// watch list — cards to move "out of the production use" before they
+// interrupt a capability job.
+type CardHealth struct {
+	Node         topology.NodeID
+	Serial       gpu.Serial
+	SBE          int64
+	RetiredPages int
+	DBEs         int
+	// Score orders the watch list: DBE history dominates, then consumed
+	// retirement headroom, then the corrected-error tail.
+	Score float64
+}
+
+// RankCardHealth scores every installed card and returns the topN
+// riskiest, highest first. Ties break by node for determinism.
+func RankCardHealth(snap nvsmi.Snapshot, events []console.Event, topN int) []CardHealth {
+	dbes := map[gpu.Serial]int{}
+	for _, e := range events {
+		if e.Code == xid.DoubleBitError {
+			dbes[e.Serial]++
+		}
+	}
+	out := make([]CardHealth, 0, len(snap.Devices))
+	for _, d := range snap.Devices {
+		h := CardHealth{
+			Node:         d.Node,
+			Serial:       d.Serial,
+			SBE:          d.Counts.TotalSBE(),
+			RetiredPages: d.RetiredPages,
+			DBEs:         dbes[d.Serial],
+		}
+		h.Score = 100*float64(h.DBEs) + 10*float64(h.RetiredPages) + math.Log10(1+float64(h.SBE))
+		if h.Score > 0 {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if topN >= 0 && topN < len(out) {
+		out = out[:topN]
+	}
+	return out
+}

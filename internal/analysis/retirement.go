@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/xid"
+)
+
+// RetirementTiming is the Fig. 8 analysis: how soon after a double bit
+// error the ECC page retirement record appears, machine-wide. The paper
+// found 18 retirements within ten minutes of a DBE (DBE-triggered
+// retirements), a gap, and another cluster much later (retirements caused
+// by two single bit errors on the same page); plus 17 successive-DBE
+// pairs with no retirement between them.
+type RetirementTiming struct {
+	// Within10Min counts retirements at most ten minutes after the most
+	// recent DBE.
+	Within10Min int
+	// TenMinTo6h counts retirements between ten minutes and six hours
+	// after the most recent DBE.
+	TenMinTo6h int
+	// Beyond6h counts retirements more than six hours after the most
+	// recent DBE (the two-SBE retirements).
+	Beyond6h int
+	// NoPrecedingDBE counts retirements with no DBE before them at all.
+	NoPrecedingDBE int
+	// DBEPairsWithoutRetirement counts successive DBE pairs with no
+	// retirement record between them.
+	DBEPairsWithoutRetirement int
+	// Delays holds the raw delay of each retirement since the last DBE.
+	Delays []time.Duration
+}
+
+// RetirementDelays computes the Fig. 8 histogram from a time-ordered
+// event stream. Both XID 63 and 64 count as retirement records; XID 64
+// companions within a few seconds of an XID 63 are deduplicated.
+func RetirementDelays(events []console.Event) RetirementTiming {
+	var rt RetirementTiming
+	var lastDBE time.Time
+	haveDBE := false
+	retirementsSinceDBE := 0
+	var lastRetirement time.Time
+
+	for _, e := range events {
+		switch e.Code {
+		case xid.DoubleBitError:
+			if haveDBE && retirementsSinceDBE == 0 {
+				rt.DBEPairsWithoutRetirement++
+			}
+			lastDBE = e.Time
+			haveDBE = true
+			retirementsSinceDBE = 0
+		case xid.ECCPageRetirement, xid.ECCPageRetirementAlt:
+			// Skip the XID 64 companion of a just-seen record.
+			if !lastRetirement.IsZero() && e.Time.Sub(lastRetirement) <= 5*time.Second {
+				continue
+			}
+			lastRetirement = e.Time
+			retirementsSinceDBE++
+			if !haveDBE {
+				rt.NoPrecedingDBE++
+				continue
+			}
+			d := e.Time.Sub(lastDBE)
+			rt.Delays = append(rt.Delays, d)
+			switch {
+			case d <= 10*time.Minute:
+				rt.Within10Min++
+			case d <= 6*time.Hour:
+				rt.TenMinTo6h++
+			default:
+				rt.Beyond6h++
+			}
+		}
+	}
+	return rt
+}
+
+// FirstAppearance returns the time of the first event of the given code,
+// or the zero time when none occurs — used to verify that ECC page
+// retirement records only start with the January 2014 driver (Fig. 6).
+func FirstAppearance(events []console.Event, code xid.Code) time.Time {
+	for _, e := range events {
+		if e.Code == code {
+			return e.Time
+		}
+	}
+	return time.Time{}
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+)
+
+// Grid is a cabinet-resolution floor map: one cell per cabinet, indexed
+// [row][column]. It is the data behind the spatial-distribution figures
+// (3(a), 5, 7, 12, 14).
+type Grid [topology.Rows][topology.Columns]int64
+
+// Total sums all cells.
+func (g *Grid) Total() int64 {
+	var t int64
+	for r := range g {
+		for c := range g[r] {
+			t += g[r][c]
+		}
+	}
+	return t
+}
+
+// Max returns the largest cell value.
+func (g *Grid) Max() int64 {
+	var m int64
+	for r := range g {
+		for c := range g[r] {
+			if g[r][c] > m {
+				m = g[r][c]
+			}
+		}
+	}
+	return m
+}
+
+// ColumnTotals sums each physical column across rows.
+func (g *Grid) ColumnTotals() [topology.Columns]int64 {
+	var out [topology.Columns]int64
+	for r := range g {
+		for c := range g[r] {
+			out[c] += g[r][c]
+		}
+	}
+	return out
+}
+
+// SpatialMap accumulates events onto the cabinet floor map.
+func SpatialMap(events []console.Event) Grid {
+	var g Grid
+	for _, e := range events {
+		loc := e.Location()
+		g[loc.Row][loc.Column]++
+	}
+	return g
+}
+
+// SpatialFromNodeCounts builds the floor map from per-node counts (used
+// for single bit errors, which exist only as nvidia-smi counters).
+func SpatialFromNodeCounts(counts map[topology.NodeID]int64) Grid {
+	var g Grid
+	for n, c := range counts {
+		loc := topology.LocationOf(n)
+		g[loc.Row][loc.Column] += c
+	}
+	return g
+}
+
+// AlternationScore quantifies the alternating-cabinet pattern of Fig. 12:
+// the mean absolute difference between adjacent column totals divided by
+// the mean column total. Folded-torus placement gives a high score (dense
+// and sparse columns alternate); linear placement stays near zero.
+func (g *Grid) AlternationScore() float64 {
+	cols := g.ColumnTotals()
+	var sum, diff float64
+	for c := 0; c < topology.Columns; c++ {
+		sum += float64(cols[c])
+		if c > 0 {
+			d := float64(cols[c] - cols[c-1])
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+	}
+	mean := sum / float64(topology.Columns)
+	if mean == 0 {
+		return 0
+	}
+	return diff / float64(topology.Columns-1) / mean
+}
+
+// CageCounts is the cage-level distribution of a figure like 3(b), 5, 7 or
+// 15: total occurrences per cage and distinct cards per cage (cage 0 is
+// the bottom, coolest; cage 2 the top, hottest).
+type CageCounts struct {
+	All      [topology.CagesPerCabinet]int64
+	Distinct [topology.CagesPerCabinet]int64
+}
+
+// CageDistribution computes occurrences and distinct-card counts per cage
+// from events.
+func CageDistribution(events []console.Event) CageCounts {
+	var cc CageCounts
+	seen := make(map[gpu.Serial]bool)
+	for _, e := range events {
+		cage := topology.CageOf(e.Node)
+		cc.All[cage]++
+		if !seen[e.Serial] {
+			seen[e.Serial] = true
+			cc.Distinct[cage]++
+		}
+	}
+	return cc
+}
+
+// CageFromNodeCounts computes the cage distribution from per-node counts;
+// Distinct counts nodes with a nonzero count.
+func CageFromNodeCounts(counts map[topology.NodeID]int64) CageCounts {
+	var cc CageCounts
+	for n, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		cage := topology.CageOf(n)
+		cc.All[cage] += c
+		cc.Distinct[cage]++
+	}
+	return cc
+}
+
+// TopHeavier reports whether the top cage strictly dominates the bottom
+// cage in total occurrences — the thermal signature of DBE, OTB and page
+// retirement distributions.
+func (cc CageCounts) TopHeavier() bool {
+	return cc.All[topology.CagesPerCabinet-1] > cc.All[0]
+}
+
+// StructureBreakdown tallies events per memory structure (Fig. 3(c)),
+// counting only events that carry structure information.
+func StructureBreakdown(events []console.Event) map[gpu.Structure]int {
+	out := make(map[gpu.Structure]int)
+	for _, e := range events {
+		if e.StructureValid {
+			out[e.Structure]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package analysis implements the study's figures: temporal frequencies,
+// spatial and cage distributions, structure breakdowns, retirement timing,
+// co-occurrence heatmaps, single-bit-error skew, resource-utilization
+// correlations, and workload characterization. Each function consumes the
+// artifacts a site actually has — console events, job records, nvidia-smi
+// snapshots and per-job samples — and returns plain data structures the
+// report package renders.
+package analysis
+
+import (
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/stats"
+)
+
+// MonthCount is one bar of a monthly-frequency figure.
+type MonthCount struct {
+	Year  int
+	Month time.Month
+	Count int
+}
+
+// Label renders "2013-06".
+func (m MonthCount) Label() string {
+	return time.Date(m.Year, m.Month, 1, 0, 0, 0, 0, time.UTC).Format("2006-01")
+}
+
+// MonthlyCounts buckets events per calendar month over [start, end),
+// including zero months, in chronological order. This is the analysis
+// behind Figs. 2, 4, 6, 9, 10 and 11 (pre-filter events with
+// filtering.ByCode and, for incident counts, a time threshold).
+func MonthlyCounts(events []console.Event, start, end time.Time) []MonthCount {
+	var out []MonthCount
+	index := make(map[int]int) // year*16+month -> index in out
+	for t := time.Date(start.Year(), start.Month(), 1, 0, 0, 0, 0, time.UTC); t.Before(end); t = t.AddDate(0, 1, 0) {
+		index[t.Year()*16+int(t.Month())] = len(out)
+		out = append(out, MonthCount{Year: t.Year(), Month: t.Month()})
+	}
+	for _, e := range events {
+		if e.Time.Before(start) || !e.Time.Before(end) {
+			continue
+		}
+		if i, ok := index[e.Time.Year()*16+int(e.Time.Month())]; ok {
+			out[i].Count++
+		}
+	}
+	return out
+}
+
+// DailyCounts buckets events per day over [start, end), used for
+// burstiness analysis of application XIDs.
+func DailyCounts(events []console.Event, start, end time.Time) []int {
+	days := int(end.Sub(start).Hours() / 24)
+	if days <= 0 {
+		return nil
+	}
+	out := make([]int, days)
+	for _, e := range events {
+		if e.Time.Before(start) || !e.Time.Before(end) {
+			continue
+		}
+		d := int(e.Time.Sub(start).Hours() / 24)
+		if d >= 0 && d < days {
+			out[d]++
+		}
+	}
+	return out
+}
+
+// BurstinessIndex quantifies how bursty a daily count series is as the
+// index of dispersion (variance over mean). A Poisson-like process scores
+// about 1; deadline-driven application-error storms score much higher
+// (Observation 6).
+func BurstinessIndex(daily []int) float64 {
+	if len(daily) == 0 {
+		return 0
+	}
+	x := make([]float64, len(daily))
+	for i, v := range daily {
+		x[i] = float64(v)
+	}
+	m := stats.Mean(x)
+	if m == 0 {
+		return 0
+	}
+	sd := stats.StdDev(x)
+	return sd * sd / m
+}
+
+// InterArrivalAnalysis characterizes the gaps between events: the
+// exponential MLE, the Weibull MLE (shape < 1 means clustering, the
+// quantitative form of "bursty"), and a Kolmogorov-Smirnov test against
+// the fitted exponential.
+type InterArrivalAnalysis struct {
+	Weibull     stats.WeibullFit
+	Exponential stats.ExponentialFit
+	// KSD and KSP are the KS statistic and p-value against the fitted
+	// exponential; a small p rejects memorylessness.
+	KSD float64
+	KSP float64
+}
+
+// AnalyzeInterArrivals fits the inter-arrival gaps of the events (in
+// hours). It needs at least four events.
+func AnalyzeInterArrivals(events []console.Event) (InterArrivalAnalysis, error) {
+	times := make([]time.Time, len(events))
+	for i, e := range events {
+		times[i] = e.Time
+	}
+	gaps := stats.InterArrivals(times)
+	hours := make([]float64, 0, len(gaps))
+	for _, g := range gaps {
+		if g > 0 {
+			hours = append(hours, g.Hours())
+		}
+	}
+	var ia InterArrivalAnalysis
+	wf, err := stats.FitWeibull(hours)
+	if err != nil {
+		return ia, err
+	}
+	ia.Weibull = wf
+	ef, err := stats.FitExponential(hours)
+	if err != nil {
+		return ia, err
+	}
+	ia.Exponential = ef
+	d, p, err := stats.KSExponential(hours, ef.Rate)
+	if err != nil {
+		return ia, err
+	}
+	ia.KSD, ia.KSP = d, p
+	return ia, nil
+}
+
+// MTBFOf estimates the mean time between the given events over the
+// window — "on average, one DBE occurs approximately every seven days".
+func MTBFOf(events []console.Event, start, end time.Time) (time.Duration, error) {
+	times := make([]time.Time, 0, len(events))
+	for _, e := range events {
+		if !e.Time.Before(start) && e.Time.Before(end) {
+			times = append(times, e.Time)
+		}
+	}
+	return stats.MTBF(times, start, end)
+}
+
+// RegimeChange locates the most likely rate change in an event stream
+// via a Poisson changepoint over daily counts, returning the date and the
+// log-likelihood-ratio evidence. It recovers operational epochs — like
+// the December 2013 off-the-bus soldering fix — from data alone.
+func RegimeChange(events []console.Event, start, end time.Time) (time.Time, float64, error) {
+	daily := DailyCounts(events, start, end)
+	k, lrt, err := stats.PoissonChangepoint(daily)
+	if err != nil {
+		return time.Time{}, 0, err
+	}
+	return start.Add(time.Duration(k) * 24 * time.Hour), lrt, nil
+}

@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"time"
+
+	"titanre/internal/gpu"
+)
+
+// Exascale projection.
+//
+// The paper's conclusion frames the measurements as input for
+// "identifying critical GPU reliability challenges for [the] exascale
+// time-frame". These helpers scale the measured per-GPU fatal-interrupt
+// rate to hypothetical system sizes and price the resulting checkpoint
+// overhead, including Observation 3's what-if: "vendors should continue
+// to improve DBE resilience of the register file structure for future
+// exascale systems".
+
+// Projection is the reliability outlook for one hypothetical system.
+type Projection struct {
+	GPUs int
+	// SystemMTBF is the projected mean time between fatal GPU
+	// interrupts across the whole machine.
+	SystemMTBF time.Duration
+	// Interval is Young's optimal checkpoint interval at the given cost.
+	Interval time.Duration
+	// Overhead is the first-order expected lost-time fraction at that
+	// interval (checkpoint cost plus expected rework).
+	Overhead float64
+}
+
+// Project scales a measured per-GPU fatal rate (events per GPU-hour) to a
+// system of the given size and prices checkpointing with cost per
+// checkpoint.
+func Project(perGPUFatalPerHour float64, gpus int, cost time.Duration) Projection {
+	p := Projection{GPUs: gpus}
+	if perGPUFatalPerHour <= 0 || gpus <= 0 {
+		return p
+	}
+	systemRate := perGPUFatalPerHour * float64(gpus)
+	p.SystemMTBF = time.Duration(float64(time.Hour) / systemRate)
+	if cost > 0 {
+		p.Interval = YoungInterval(p.SystemMTBF, cost)
+		p.Overhead = ExpectedWaste(p.Interval, cost, p.SystemMTBF)
+	}
+	return p
+}
+
+// RateScaleAfterImprovement returns the multiplier on the total fatal
+// rate if each structure's contribution (given as observed counts, e.g.
+// the Fig. 3(c) DBE breakdown) is divided by its improvement factor.
+// Structures absent from improvements keep factor 1. An empty breakdown
+// returns 1.
+func RateScaleAfterImprovement(breakdown map[gpu.Structure]int, improvements map[gpu.Structure]float64) float64 {
+	var total, improved float64
+	for s, c := range breakdown {
+		total += float64(c)
+		f := improvements[s]
+		if f <= 0 {
+			f = 1
+		}
+		improved += float64(c) / f
+	}
+	if total == 0 {
+		return 1
+	}
+	return improved / total
+}

@@ -1,0 +1,75 @@
+// Package console models Titan's console-log pipeline: the raw lines the
+// NVIDIA driver and kernel write to the system console, and the simple
+// event correlator (SEC) rules that run on the system management
+// workstation (SMW) to turn those lines into the structured critical-event
+// records the reliability study analyzes.
+//
+// The package is split in two layers, mirroring production:
+//
+//   - raw lines: Event.Raw renders an event the way it appears on the
+//     console ("... kernel: NVRM: Xid (0000:02:00.0): 48, ...");
+//   - the Correlator: a rule set that parses raw lines back into Events,
+//     dropping chatter that matches no rule.
+//
+// Single bit errors never traverse this path: SECDED corrects them
+// silently and only nvidia-smi's aggregate counters see them (package
+// nvsmi).
+package console
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// JobID identifies a batch job. Zero means no job context.
+type JobID int64
+
+// Event is one structured critical-event record, the unit every analysis
+// consumes.
+type Event struct {
+	Time   time.Time
+	Node   topology.NodeID
+	Serial gpu.Serial
+	Code   EventCode
+	// Structure is the memory structure involved, for ECC events
+	// (DBE and page retirements); StructureValid says whether it is set.
+	Structure      gpu.Structure
+	StructureValid bool
+	// Page is the framebuffer page for device-memory ECC events and
+	// retirements; negative when not applicable.
+	Page int32
+	// Job is the batch job running on the node when the event fired.
+	Job JobID
+}
+
+// EventCode aliases xid.Code so downstream packages can name event codes
+// without importing xid separately.
+type EventCode = xid.Code
+
+// Before reports whether e precedes other in time, breaking ties by node
+// so sorts are stable across runs.
+func (e Event) Before(other Event) bool {
+	if !e.Time.Equal(other.Time) {
+		return e.Time.Before(other.Time)
+	}
+	return e.Node < other.Node
+}
+
+// Location is shorthand for the physical coordinates of the event's node.
+func (e Event) Location() topology.Location { return topology.LocationOf(e.Node) }
+
+// String renders a compact human-readable form for diagnostics.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %s %v job=%d",
+		e.Time.UTC().Format(time.RFC3339), e.Location().CName(), e.Serial, e.Code, e.Job)
+}
+
+// SortEvents orders a slice by (time, node) in place.
+func SortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool { return events[i].Before(events[j]) })
+}

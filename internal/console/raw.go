@@ -1,0 +1,97 @@
+package console
+
+import (
+	"fmt"
+	"strings"
+
+	"titanre/internal/gpu"
+	"titanre/internal/xid"
+)
+
+// Raw line rendering.
+//
+// Console lines on Titan look like
+//
+//	[2014-02-03 11:52:07] c3-2c1s4n2 kernel: NVRM: Xid (0000:02:00.0): 48,
+//	   An uncorrectable double bit error (DBE) has been detected on GPU ...
+//
+// The renderer embeds the metadata the SEC rules need to recover (serial,
+// job, structure, page) as trailing key=value annotations, the way Titan's
+// enhanced logging configuration did.
+
+const rawTimeLayout = "2006-01-02 15:04:05"
+
+// structToken maps structures to the tokens used on raw lines.
+var structToken = map[gpu.Structure]string{
+	gpu.DeviceMemory:  "framebuffer",
+	gpu.L2Cache:       "l2-cache",
+	gpu.RegisterFile:  "register-file",
+	gpu.L1Shared:      "l1-shared",
+	gpu.ReadOnlyData:  "read-only-cache",
+	gpu.TextureMemory: "texture",
+}
+
+var tokenStruct = func() map[string]gpu.Structure {
+	m := make(map[string]gpu.Structure, len(structToken))
+	for s, tok := range structToken {
+		m[tok] = s
+	}
+	return m
+}()
+
+// Raw renders the event as the console line the driver would have written.
+func (e Event) Raw() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s kernel: NVRM: ", e.Time.UTC().Format(rawTimeLayout), e.Location().CName())
+	switch e.Code {
+	case xid.OffTheBus:
+		b.WriteString("GPU at 0000:02:00.0 has fallen off the bus.")
+	default:
+		fmt.Fprintf(&b, "Xid (0000:02:00.0): %d, %s", int(e.Code), rawDescription(e))
+	}
+	fmt.Fprintf(&b, " serial=%d job=%d", uint32(e.Serial), int64(e.Job))
+	if e.StructureValid {
+		fmt.Fprintf(&b, " unit=%s", structToken[e.Structure])
+	}
+	if e.Page >= 0 {
+		fmt.Fprintf(&b, " page=%d", e.Page)
+	}
+	return b.String()
+}
+
+func rawDescription(e Event) string {
+	switch e.Code {
+	case xid.DoubleBitError:
+		return "An uncorrectable double bit error (DBE) has been detected on GPU."
+	case xid.ECCPageRetirement, xid.ECCPageRetirementAlt:
+		return "Dynamic page retirement recorded."
+	case xid.GraphicsEngineException:
+		return "Graphics Engine Exception."
+	case xid.GPUMemoryPageFault:
+		return "MMU Fault: GPU memory page fault."
+	case xid.CorruptedPushBuffer:
+		return "Invalid or corrupted push buffer stream."
+	case xid.DriverFirmwareError:
+		return "Driver firmware error."
+	case xid.VideoProcessorException:
+		return "Video processor exception."
+	case xid.GPUStoppedProcessing:
+		return "GPU has stopped processing."
+	case xid.ContextSwitchFault:
+		return "Graphics engine fault during context switch."
+	case xid.PreemptiveCleanup:
+		return "Preemptive cleanup, due to previous errors."
+	case xid.DisplayEngineError:
+		return "Display engine error."
+	case xid.VideoMemoryInterfaceError:
+		return "Error programming video memory interface."
+	case xid.UnstableVideoMemory:
+		return "Unstable video memory interface detected."
+	case xid.MicrocontrollerHaltOld, xid.MicrocontrollerHaltNew:
+		return "Internal micro-controller halt."
+	case xid.VideoProcessorFault:
+		return "Video processor exception (hardware)."
+	default:
+		return "Unknown GPU error."
+	}
+}

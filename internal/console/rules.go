@@ -1,0 +1,84 @@
+package console
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// SEC rule configuration files.
+//
+// Observation 5: "System operators have to keep updating their log
+// parsing rules to account for such new introductions" — when NVIDIA
+// shipped the page-retirement XIDs in January 2014, sites whose SEC
+// configuration predated them silently dropped the new records. This file
+// gives the correlator a textual rule format so the rule set lives in
+// operations-controlled configuration instead of code:
+//
+//	# name    code    pattern (regular expression over the message)
+//	gpu-otb   -2      has fallen off the bus
+//	xid-48    48      ^Xid \([0-9a-f:.]+\): 48,
+//
+// Fields are whitespace-separated; the pattern is everything after the
+// second field. Blank lines and #-comments are ignored.
+
+// ParseRules reads a rule configuration.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var out []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("console: rules line %d: want 'name code pattern'", lineNo)
+		}
+		code, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("console: rules line %d: bad code %q: %w", lineNo, fields[1], err)
+		}
+		// The pattern is the remainder after the name and code fields
+		// (it may itself contain the code's digits, so strip prefixes
+		// rather than searching).
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		patternText := strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+		pattern, err := regexp.Compile(patternText)
+		if err != nil {
+			return nil, fmt.Errorf("console: rules line %d: bad pattern: %w", lineNo, err)
+		}
+		out = append(out, Rule{Name: fields[0], Code: EventCode(code), Pattern: pattern})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("console: reading rules: %w", err)
+	}
+	return out, nil
+}
+
+// WriteRules serializes rules in the configuration format.
+func WriteRules(w io.Writer, rules []Rule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# SEC correlation rules: name code pattern")
+	for _, r := range rules {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\n", r.Name, int(r.Code), r.Pattern.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// NewCorrelatorFromRules builds a correlator with exactly the given rule
+// set (no built-in rules).
+func NewCorrelatorFromRules(rules []Rule) *Correlator {
+	c := &Correlator{}
+	for _, r := range rules {
+		c.AddRule(r)
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package console
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"titanre/internal/xid"
+)
+
+func TestRulesRoundTrip(t *testing.T) {
+	orig := NewCorrelator().Rules()
+	var buf bytes.Buffer
+	if err := WriteRules(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseRules(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("parsed %d rules, want %d", len(parsed), len(orig))
+	}
+	for i := range orig {
+		if parsed[i].Name != orig[i].Name || parsed[i].Code != orig[i].Code {
+			t.Errorf("rule %d header mismatch: %+v vs %+v", i, parsed[i], orig[i])
+		}
+		if parsed[i].Pattern.String() != orig[i].Pattern.String() {
+			t.Errorf("rule %d pattern mismatch: %q vs %q", i,
+				parsed[i].Pattern.String(), orig[i].Pattern.String())
+		}
+	}
+	// And the rebuilt correlator must classify like the original.
+	c := NewCorrelatorFromRules(parsed)
+	line := sampleEvent().Raw()
+	got, ok := c.ParseLine(line)
+	if !ok || got.Code != xid.DoubleBitError {
+		t.Error("rebuilt correlator failed to classify a DBE line")
+	}
+}
+
+func TestParseRulesNameContainsCode(t *testing.T) {
+	// The name "xid-48" contains the code "48"; the pattern must still
+	// be extracted correctly.
+	rules, err := ParseRules(strings.NewReader("xid-48\t48\t^Xid \\([0-9a-f:.]+\\): 48,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	if !strings.HasPrefix(rules[0].Pattern.String(), "^Xid") {
+		t.Errorf("pattern corrupted: %q", rules[0].Pattern.String())
+	}
+}
+
+func TestParseRulesCommentsAndBlanks(t *testing.T) {
+	src := "# comment\n\nmy-rule  13  ^Xid .*: 13,\n"
+	rules, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Name != "my-rule" || rules[0].Code != 13 {
+		t.Errorf("rules = %+v", rules)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	bad := []string{
+		"too few",
+		"name notanumber pattern",
+		"name 13 [unclosed",
+	}
+	for _, src := range bad {
+		if _, err := ParseRules(strings.NewReader(src + "\n")); err == nil {
+			t.Errorf("accepted malformed rules %q", src)
+		}
+	}
+}
+
+func TestCorrelatorObsFiveScenario(t *testing.T) {
+	// A site running a pre-2014 rule set drops the new retirement XID;
+	// shipping the updated configuration picks it up (Observation 5).
+	oldRules, err := ParseRules(strings.NewReader(
+		"xid-48\t48\t^Xid \\([0-9a-f:.]+\\): 48,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldC := NewCorrelatorFromRules(oldRules)
+	e := sampleEvent()
+	e.Code = xid.ECCPageRetirement
+	if _, ok := oldC.ParseLine(e.Raw()); ok {
+		t.Fatal("old rule set should drop XID 63 records")
+	}
+	newC := NewCorrelator()
+	if _, ok := newC.ParseLine(e.Raw()); !ok {
+		t.Fatal("updated rule set must classify XID 63")
+	}
+}

@@ -1,0 +1,222 @@
+package console
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// NoPage marks events without a framebuffer page.
+const NoPage int32 = -1
+
+// Rule is one SEC correlation rule: a pattern over the message part of a
+// console line and the event code lines matching it classify as.
+type Rule struct {
+	Name    string
+	Pattern *regexp.Regexp
+	Code    xid.Code
+}
+
+// Correlator is the simple-event-correlator configuration used on the
+// SMW: an ordered rule list applied to each console line. Lines matching
+// no rule are counted and dropped, like the operational setup which only
+// keeps critical events.
+type Correlator struct {
+	rules []Rule
+	// Dropped counts lines that matched no rule.
+	Dropped int
+	// Malformed counts lines that matched a rule but could not be
+	// decoded into a full record.
+	Malformed int
+}
+
+var (
+	headerRe = regexp.MustCompile(`^\[(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2})\] (c\d+-\d+c\d+s\d+n\d+) kernel: NVRM: (.*)$`)
+	xidRe    = regexp.MustCompile(`^Xid \([0-9a-f:.]+\): (-?\d+),`)
+	kvRe     = regexp.MustCompile(`(serial|job|unit|page)=([A-Za-z0-9-]+)`)
+)
+
+// NewCorrelator returns a correlator loaded with the production rule set:
+// one rule per XID in the study's catalog plus the off-the-bus kernel
+// message. The paper's Observation 5 notes operators must keep updating
+// these rules as NVIDIA introduces new XIDs; AddRule supports that.
+func NewCorrelator() *Correlator {
+	c := &Correlator{}
+	c.AddRule(Rule{
+		Name:    "gpu-off-the-bus",
+		Pattern: regexp.MustCompile(`has fallen off the bus`),
+		Code:    xid.OffTheBus,
+	})
+	for _, info := range xid.All() {
+		if info.Code < 0 {
+			continue // synthetic codes other than OTB never hit the console
+		}
+		code := info.Code
+		c.AddRule(Rule{
+			Name:    fmt.Sprintf("xid-%d", int(code)),
+			Pattern: xidPattern(int(code)),
+			Code:    code,
+		})
+	}
+	return c
+}
+
+// xidPattern builds the SEC pattern matching driver messages for one XID.
+func xidPattern(code int) *regexp.Regexp {
+	return regexp.MustCompile(fmt.Sprintf(`^Xid \([0-9a-f:.]+\): %d,`, code))
+}
+
+// AddRule appends a rule to the correlator.
+func (c *Correlator) AddRule(r Rule) { c.rules = append(c.rules, r) }
+
+// Rules returns a copy of the active rule list.
+func (c *Correlator) Rules() []Rule {
+	out := make([]Rule, len(c.rules))
+	copy(out, c.rules)
+	return out
+}
+
+// ParseLine classifies one console line. ok is false when the line matched
+// no rule (chatter) or was malformed; malformed lines also increment the
+// Malformed counter.
+func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
+	m := headerRe.FindStringSubmatch(line)
+	if m == nil {
+		c.Dropped++
+		return Event{}, false
+	}
+	msg := m[3]
+	var matched *Rule
+	for i := range c.rules {
+		if c.rules[i].Pattern.MatchString(msg) {
+			matched = &c.rules[i]
+			break
+		}
+	}
+	if matched == nil {
+		c.Dropped++
+		return Event{}, false
+	}
+	ts, err := time.ParseInLocation("2006-01-02 15:04:05", m[1], time.UTC)
+	if err != nil {
+		c.Malformed++
+		return Event{}, false
+	}
+	node, err := topology.ParseNodeID(m[2])
+	if err != nil {
+		c.Malformed++
+		return Event{}, false
+	}
+	// Sanity: when the message carries an explicit XID number it must
+	// agree with the rule that matched.
+	if xm := xidRe.FindStringSubmatch(msg); xm != nil {
+		n, _ := strconv.Atoi(xm[1])
+		if xid.Code(n) != matched.Code {
+			c.Malformed++
+			return Event{}, false
+		}
+	}
+	ev = Event{Time: ts, Node: node, Code: matched.Code, Page: NoPage}
+	for _, kv := range kvRe.FindAllStringSubmatch(msg, -1) {
+		switch kv[1] {
+		case "serial":
+			n, err := strconv.ParseUint(kv[2], 10, 32)
+			if err != nil {
+				c.Malformed++
+				return Event{}, false
+			}
+			ev.Serial = gpu.Serial(n)
+		case "job":
+			n, err := strconv.ParseInt(kv[2], 10, 64)
+			if err != nil {
+				c.Malformed++
+				return Event{}, false
+			}
+			ev.Job = JobID(n)
+		case "unit":
+			s, known := tokenStruct[kv[2]]
+			if !known {
+				c.Malformed++
+				return Event{}, false
+			}
+			ev.Structure = s
+			ev.StructureValid = true
+		case "page":
+			n, err := strconv.ParseInt(kv[2], 10, 32)
+			if err != nil {
+				c.Malformed++
+				return Event{}, false
+			}
+			ev.Page = int32(n)
+		}
+	}
+	return ev, true
+}
+
+// ParseAll reads a whole console log and returns every event it could
+// classify, in file order.
+func (c *Correlator) ParseAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		if ev, ok := c.ParseLine(line); ok {
+			out = append(out, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("console: reading log: %w", err)
+	}
+	return out, nil
+}
+
+// ParseStream classifies a console log line by line, calling fn for each
+// event; fn returning false stops early. Unlike ParseAll it never holds
+// the whole log in memory, so it suits multi-gigabyte console archives
+// and tail-follow tooling.
+func (c *Correlator) ParseStream(r io.Reader, fn func(Event) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		if ev, ok := c.ParseLine(line); ok {
+			if !fn(ev) {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("console: reading log: %w", err)
+	}
+	return nil
+}
+
+// WriteLog renders events as raw console lines to w, one per line, in the
+// order given.
+func WriteLog(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := bw.WriteString(e.Raw()); err != nil {
+			return fmt.Errorf("console: writing log: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("console: writing log: %w", err)
+		}
+	}
+	return bw.Flush()
+}

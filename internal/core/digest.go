@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"titanre/internal/analysis"
+	"titanre/internal/filtering"
+	"titanre/internal/gpu"
+	"titanre/internal/report"
+	"titanre/internal/stats"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+func topologyCName(n topology.NodeID) string { return topology.LocationOf(n).CName() }
+
+// MonthDigest is one month of the operations digest: the numbers an
+// on-call operator would review, per the practices the paper describes
+// (watching DBE cards for the hot-spare policy, tracking the OTB
+// integration issue, noticing new XIDs appear).
+type MonthDigest struct {
+	Year  int
+	Month time.Month
+	// Counts of the headline classes.
+	DBE, OTB, Retirements, AppIncidents, DriverEvents int
+	// NewCodes lists error codes seen this month for the first time
+	// (Observation 5's "keep updating your parsing rules" trigger).
+	NewCodes []xid.Code
+	// RepeatDBECards is how many cards saw their 2nd+ DBE this month
+	// (hot-spare candidates).
+	RepeatDBECards int
+}
+
+// MonthlyDigest builds the month-by-month operations summary.
+func (s *Study) MonthlyDigest() []MonthDigest {
+	var out []MonthDigest
+	index := map[int]int{}
+	for t := time.Date(s.Config.Start.Year(), s.Config.Start.Month(), 1, 0, 0, 0, 0, time.UTC); t.Before(s.Config.End); t = t.AddDate(0, 1, 0) {
+		index[t.Year()*16+int(t.Month())] = len(out)
+		out = append(out, MonthDigest{Year: t.Year(), Month: t.Month()})
+	}
+	seenCodes := map[xid.Code]bool{}
+	dbePerCard := map[gpu.Serial]int{}
+
+	appIncidents := map[int]int{}
+	for _, code := range []xid.Code{13, 31} {
+		for _, e := range filtering.TimeThreshold(s.EventsOf(code), 5*time.Second) {
+			appIncidents[e.Time.Year()*16+int(e.Time.Month())]++
+		}
+	}
+
+	for _, e := range s.Result.Events {
+		mi, ok := index[e.Time.Year()*16+int(e.Time.Month())]
+		if !ok {
+			continue
+		}
+		d := &out[mi]
+		if !seenCodes[e.Code] {
+			seenCodes[e.Code] = true
+			d.NewCodes = append(d.NewCodes, e.Code)
+		}
+		switch e.Code {
+		case xid.DoubleBitError:
+			d.DBE++
+			dbePerCard[e.Serial]++
+			if dbePerCard[e.Serial] >= 2 {
+				d.RepeatDBECards++
+			}
+		case xid.OffTheBus:
+			d.OTB++
+		case xid.ECCPageRetirement, xid.ECCPageRetirementAlt:
+			d.Retirements++
+		case 13, 31:
+			// Counted as incidents above, not raw storms.
+		default:
+			d.DriverEvents++
+		}
+	}
+	for key, n := range appIncidents {
+		if mi, ok := index[key]; ok {
+			out[mi].AppIncidents = n
+		}
+	}
+	return out
+}
+
+// WriteMonthlyDigest renders the digest as an aligned table, with the
+// running DBE MTBF and its 95% confidence interval in the footer.
+func (s *Study) WriteMonthlyDigest(w io.Writer) {
+	digest := s.MonthlyDigest()
+	rows := make([][]string, 0, len(digest))
+	for _, d := range digest {
+		newCodes := ""
+		for i, c := range d.NewCodes {
+			if i > 0 {
+				newCodes += " "
+			}
+			newCodes += c.String()
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%04d-%02d", d.Year, int(d.Month)),
+			fmt.Sprintf("%d", d.DBE),
+			fmt.Sprintf("%d", d.OTB),
+			fmt.Sprintf("%d", d.Retirements),
+			fmt.Sprintf("%d", d.AppIncidents),
+			fmt.Sprintf("%d", d.DriverEvents),
+			fmt.Sprintf("%d", d.RepeatDBECards),
+			newCodes,
+		})
+	}
+	report.Table(w, "Monthly operations digest",
+		[]string{"month", "DBE", "OTB", "retire", "app-incidents", "driver", "repeat-DBE cards", "first-seen codes"},
+		rows)
+	watch := analysis.RankCardHealth(s.Result.Snapshot, s.Result.Events, 10)
+	watchRows := make([][]string, 0, len(watch))
+	for _, h := range watch {
+		watchRows = append(watchRows, []string{
+			h.Serial.String(),
+			topologyCName(h.Node),
+			fmt.Sprintf("%d", h.DBEs),
+			fmt.Sprintf("%d", h.RetiredPages),
+			fmt.Sprintf("%d", h.SBE),
+			fmt.Sprintf("%.1f", h.Score),
+		})
+	}
+	report.Table(w, "Hot-spare watch list (top 10 riskiest cards)",
+		[]string{"card", "node", "DBEs", "retired pages", "SBEs", "score"}, watchRows)
+
+	if mtbf, err := s.DBEMTBF(); err == nil {
+		n := len(s.EventsOf(xid.DoubleBitError))
+		lo, hi, cerr := stats.MTBFConfidence(n, s.Config.End.Sub(s.Config.Start), 0.95)
+		if cerr == nil {
+			fmt.Fprintf(w, "DBE MTBF %.0f h (95%% CI %.0f-%.0f h over %d events)\n",
+				mtbf.Hours(), lo.Hours(), hi.Hours(), n)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"titanre/internal/analysis"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// ExportFigures writes every figure's underlying data series as TSV files
+// into dir, one file per figure panel, so the results can be re-plotted
+// with external tooling. File names follow the paper's figure numbers.
+func (s *Study) ExportFigures(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	w := &exporter{dir: dir}
+
+	w.months("fig02_monthly_dbe.tsv", s.Fig2MonthlyDBE())
+	w.grid("fig03a_dbe_spatial.tsv", s.Fig3aDBESpatial())
+	w.cages("fig03b_dbe_cages.tsv", s.Fig3bDBECages())
+	w.file("fig03c_dbe_structures.tsv", func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#structure\tcount")
+		for st, c := range s.Fig3cDBEStructures() {
+			fmt.Fprintf(out, "%s\t%d\n", st, c)
+		}
+	})
+	w.months("fig04_monthly_otb.tsv", s.Fig4MonthlyOTB())
+	otbGrid, otbCages := s.Fig5OTBSpatial()
+	w.grid("fig05_otb_spatial.tsv", otbGrid)
+	w.cages("fig05_otb_cages.tsv", otbCages)
+	w.months("fig06_monthly_retirement.tsv", s.Fig6MonthlyRetirement())
+	retGrid, retCages := s.Fig7RetirementSpatial()
+	w.grid("fig07_retirement_spatial.tsv", retGrid)
+	w.cages("fig07_retirement_cages.tsv", retCages)
+	w.file("fig08_retirement_delays.tsv", func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#delay_seconds_since_last_dbe")
+		for _, d := range s.Fig8RetirementTiming().Delays {
+			fmt.Fprintf(out, "%.0f\n", d.Seconds())
+		}
+	})
+	for code, months := range s.Fig9DriverXIDMonthly() {
+		w.months(fmt.Sprintf("fig09_monthly_xid%d.tsv", int(code)), months)
+	}
+	daily, _ := s.Fig10XID13Daily()
+	w.file("fig10_daily_xid13.tsv", func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#day\tincidents")
+		for i, c := range daily {
+			fmt.Fprintf(out, "%d\t%d\n", i, c)
+		}
+	})
+	old59, new62 := s.Fig11MicrocontrollerHalts()
+	w.months("fig11_monthly_xid59.tsv", old59)
+	w.months("fig11_monthly_xid62.tsv", new62)
+	all, filtered, children := s.Fig12XID13Filtering()
+	w.grid("fig12_xid13_raw.tsv", all)
+	w.grid("fig12_xid13_filtered.tsv", filtered)
+	w.grid("fig12_xid13_children.tsv", children)
+	withSame, withoutSame, codes := s.Fig13Heatmaps()
+	w.matrix("fig13_heatmap_with_same.tsv", codes, withSame)
+	w.matrix("fig13_heatmap_without_same.tsv", codes, withoutSame)
+	sk := s.Fig14SBESkew()
+	w.grid("fig14_sbe_all.tsv", sk.All)
+	w.grid("fig14_sbe_wo_top10.tsv", sk.WithoutTop10)
+	w.grid("fig14_sbe_wo_top50.tsv", sk.WithoutTop50)
+	ca := s.Fig15SBECages()
+	w.cages("fig15_sbe_cages_all.tsv", ca.All)
+	w.cages("fig15_sbe_cages_wo_top10.tsv", ca.WithoutTop10)
+	w.cages("fig15_sbe_cages_wo_top50.tsv", ca.WithoutTop50)
+	for _, uc := range s.Fig16to19Correlations() {
+		name := map[analysis.MetricKind]string{
+			analysis.MaxMemory:   "fig16_sbe_vs_maxmem.tsv",
+			analysis.TotalMemory: "fig17_sbe_vs_totalmem.tsv",
+			analysis.NodeCount:   "fig18_sbe_vs_nodes.tsv",
+			analysis.CoreHours:   "fig19_sbe_vs_corehours.tsv",
+		}[uc.Metric]
+		series := uc
+		w.file(name, func(out *bufio.Writer) {
+			fmt.Fprintf(out, "#spearman=%.3f pearson=%.3f excl_spearman=%.3f\n",
+				series.AllSpearman.Coefficient, series.AllPearson.Coefficient, series.ExclSpearman.Coefficient)
+			fmt.Fprintln(out, "#rank\tmetric_norm\tsbe_norm")
+			for i := range series.SortedMetricNorm {
+				fmt.Fprintf(out, "%d\t%.6f\t%.6f\n", i, series.SortedMetricNorm[i], series.SortedSBENorm[i])
+			}
+		})
+	}
+	uc := s.Fig20UserCorrelation()
+	w.file("fig20_sbe_by_user.tsv", func(out *bufio.Writer) {
+		fmt.Fprintf(out, "#spearman=%.3f excl_spearman=%.3f\n",
+			uc.AllSpearman.Coefficient, uc.ExclSpearman.Coefficient)
+		fmt.Fprintln(out, "#user\tcore_hours\tsbe")
+		for i := range uc.PerUserID {
+			fmt.Fprintf(out, "%d\t%.3f\t%.0f\n", uc.PerUserID[i], uc.PerUserCoreHours[i], uc.PerUserSBE[i])
+		}
+	})
+	wc := s.Fig21Workload()
+	w.file("fig21_workload_by_corehours.tsv", func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#rank\tcore_hours_norm\tmax_mem_norm\ttotal_mem_norm\tnodes_norm")
+		for i := range wc.ByCoreHours.CoreHours {
+			fmt.Fprintf(out, "%d\t%.6f\t%.6f\t%.6f\t%.6f\n", i,
+				wc.ByCoreHours.CoreHours[i], wc.ByCoreHours.MaxMem[i],
+				wc.ByCoreHours.TotalMem[i], wc.ByCoreHours.Nodes[i])
+		}
+	})
+	w.file("fig21_workload_by_nodes.tsv", func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#rank\tnodes_norm\twallclock_norm\tmax_mem_norm")
+		for i := range wc.ByNodes.Nodes {
+			fmt.Fprintf(out, "%d\t%.6f\t%.6f\t%.6f\n", i,
+				wc.ByNodes.Nodes[i], wc.ByNodes.WallClock[i], wc.ByNodes.MaxMem[i])
+		}
+	})
+	return w.err
+}
+
+// exporter accumulates the first write error.
+type exporter struct {
+	dir string
+	err error
+}
+
+func (e *exporter) file(name string, fn func(*bufio.Writer)) {
+	if e.err != nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(e.dir, name))
+	if err != nil {
+		e.err = fmt.Errorf("core: %w", err)
+		return
+	}
+	bw := bufio.NewWriter(f)
+	fn(bw)
+	if err := bw.Flush(); err != nil {
+		e.err = err
+		f.Close()
+		return
+	}
+	if err := f.Close(); err != nil {
+		e.err = err
+	}
+}
+
+func (e *exporter) months(name string, months []analysis.MonthCount) {
+	e.file(name, func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#month\tcount")
+		for _, m := range months {
+			fmt.Fprintf(out, "%s\t%d\n", m.Label(), m.Count)
+		}
+	})
+}
+
+func (e *exporter) grid(name string, g analysis.Grid) {
+	e.file(name, func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#row\tcol\tcount")
+		for r := 0; r < topology.Rows; r++ {
+			for c := 0; c < topology.Columns; c++ {
+				fmt.Fprintf(out, "%d\t%d\t%d\n", r, c, g[r][c])
+			}
+		}
+	})
+}
+
+func (e *exporter) cages(name string, cc analysis.CageCounts) {
+	e.file(name, func(out *bufio.Writer) {
+		fmt.Fprintln(out, "#cage\tcount\tdistinct_cards")
+		for cage := 0; cage < topology.CagesPerCabinet; cage++ {
+			fmt.Fprintf(out, "%d\t%d\t%d\n", cage, cc.All[cage], cc.Distinct[cage])
+		}
+	})
+}
+
+func (e *exporter) matrix(name string, codes []xid.Code, m [][]float64) {
+	e.file(name, func(out *bufio.Writer) {
+		fmt.Fprint(out, "#prev\\next")
+		for _, c := range codes {
+			fmt.Fprintf(out, "\t%s", c)
+		}
+		fmt.Fprintln(out)
+		for i, row := range m {
+			fmt.Fprintf(out, "%s", codes[i])
+			for _, v := range row {
+				fmt.Fprintf(out, "\t%.4f", v)
+			}
+			fmt.Fprintln(out)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"titanre/internal/analysis"
+	"titanre/internal/filtering"
+	"titanre/internal/report"
+	"titanre/internal/xid"
+)
+
+// writeReport renders every figure in paper order.
+func writeReport(w io.Writer, s *Study) {
+	fmt.Fprintf(w, "Titan GPU reliability study — synthetic reproduction\n")
+	fmt.Fprintf(w, "window %s .. %s, seed %d\n",
+		s.Config.Start.Format("2006-01-02"), s.Config.End.Format("2006-01-02"), s.Config.Seed)
+	fmt.Fprintf(w, "jobs %d, console events %d, scheduled node-hours %.0fM\n",
+		len(s.Result.Jobs), len(s.Result.Events), s.Result.NodeHours/1e6)
+
+	// Tables 1 and 2.
+	hwRows := [][]string{}
+	for _, info := range xid.HardwareTable() {
+		hwRows = append(hwRows, []string{info.Code.String(), info.Name})
+	}
+	report.Table(w, "Table 1: GPU hardware related errors", []string{"code", "error"}, hwRows)
+	swRows := [][]string{}
+	for _, info := range xid.SoftwareTable() {
+		swRows = append(swRows, []string{info.Code.String(), info.Name})
+	}
+	report.Table(w, "Table 2: GPU software/firmware related errors", []string{"code", "error"}, swRows)
+
+	// Fig 2 and the MTBF headline.
+	report.MonthlyBars(w, "Fig 2: monthly double bit errors", s.Fig2MonthlyDBE())
+	if mtbf, err := s.DBEMTBF(); err == nil {
+		fmt.Fprintf(w, "DBE MTBF: %.0f hours (paper: ~160 h, one per week)\n", mtbf.Hours())
+	}
+	if ia, err := analysis.AnalyzeInterArrivals(s.EventsOf(xid.DoubleBitError)); err == nil {
+		fmt.Fprintf(w, "DBE inter-arrival Weibull shape %.2f, KS-vs-exponential p=%.2f (shape ~1: not bursty)\n",
+			ia.Weibull.Shape, ia.KSP)
+	}
+
+	report.FloorMap(w, "Fig 3(a): DBE spatial distribution", s.Fig3aDBESpatial())
+	report.CageHistogram(w, "Fig 3(b): DBE by cage", s.Fig3bDBECages())
+
+	report.Section(w, "Fig 3(c): DBE breakdown by structure")
+	breakdown := s.Fig3cDBEStructures()
+	total := 0
+	for _, c := range breakdown {
+		total += c
+	}
+	for st, c := range breakdown {
+		fmt.Fprintf(w, "%-22s %3d (%.0f%%)\n", st, c, 100*float64(c)/float64(total))
+	}
+
+	report.MonthlyBars(w, "Fig 4: monthly off-the-bus errors", s.Fig4MonthlyOTB())
+	if when, lrt, err := analysis.RegimeChange(s.EventsOf(xid.OffTheBus), s.Config.Start, s.Config.End); err == nil {
+		fmt.Fprintf(w, "detected rate change: %s (LRT %.0f) — actual soldering fix %s\n",
+			when.Format("2006-01-02"), lrt, s.Config.OTBFix.Format("2006-01-02"))
+	}
+	otbGrid, otbCages := s.Fig5OTBSpatial()
+	report.FloorMap(w, "Fig 5: off-the-bus spatial distribution", otbGrid)
+	report.CageHistogram(w, "Fig 5 (cont): off-the-bus by cage", otbCages)
+
+	report.MonthlyBars(w, "Fig 6: monthly ECC page retirement records", s.Fig6MonthlyRetirement())
+	retGrid, retCages := s.Fig7RetirementSpatial()
+	report.FloorMap(w, "Fig 7: page-retirement spatial distribution", retGrid)
+	report.CageHistogram(w, "Fig 7 (cont): page retirement by cage", retCages)
+
+	report.DelayHistogram(w, "Fig 8: page retirement following a DBE", s.Fig8RetirementTiming())
+
+	for _, code := range []xid.Code{31, 32, 43, 44} {
+		months := s.Fig9DriverXIDMonthly()[code]
+		report.MonthlyBars(w, fmt.Sprintf("Fig 9: monthly %v incidents", code), months)
+	}
+
+	daily13, burst := s.Fig10XID13Daily()
+	report.Sparkline(w, "Fig 10: daily XID 13 incidents (weekly buckets)", daily13)
+	total13 := 0
+	for _, d := range daily13 {
+		total13 += d
+	}
+	report.Section(w, "Fig 10 (cont): burstiness")
+	fmt.Fprintf(w, "incidents: %d; burstiness index (variance/mean of daily counts): %.1f\n", total13, burst)
+	if ia, err := analysis.AnalyzeInterArrivals(filtering.TimeThreshold(s.EventsOf(13), 5*time.Second)); err == nil {
+		fmt.Fprintf(w, "incident inter-arrival Weibull shape %.2f, KS-vs-exponential p=%.3f (shape < 1: clustered)\n",
+			ia.Weibull.Shape, ia.KSP)
+	}
+
+	old59, new62 := s.Fig11MicrocontrollerHalts()
+	report.MonthlyBars(w, "Fig 11: monthly XID 59 (old driver)", old59)
+	report.MonthlyBars(w, "Fig 11 (cont): monthly XID 62 (new driver)", new62)
+
+	all, filtered, children := s.Fig12XID13Filtering()
+	report.FloorMap(w, "Fig 12 (top): XID 13, no filtering", all)
+	report.FloorMap(w, "Fig 12 (middle): XID 13, 5-second filtering", filtered)
+	report.FloorMap(w, "Fig 12 (bottom): XID 13 events inside the 5-second window", children)
+
+	withSame, withoutSame, codes := s.Fig13Heatmaps()
+	labels := make([]string, len(codes))
+	for i, c := range codes {
+		labels[i] = c.String()
+	}
+	report.Heatmap(w, "Fig 13 (top): P(next within 300 s | prev), same-type included", labels, withSame)
+	report.Heatmap(w, "Fig 13 (bottom): same, same-type pairs excluded", labels, withoutSame)
+
+	sk := s.Fig14SBESkew()
+	report.FloorMap(w, "Fig 14 (left): SBE spatial distribution, all cards", sk.All)
+	report.FloorMap(w, "Fig 14 (middle): top-10 offenders removed", sk.WithoutTop10)
+	report.FloorMap(w, "Fig 14 (right): top-50 offenders removed", sk.WithoutTop50)
+	fmt.Fprintf(w, "cards ever affected: %d (%.1f%% of system); top-10 share %.0f%%, top-50 share %.0f%%\n",
+		sk.AffectedCards, 100*sk.AffectedFraction, 100*sk.Top10Share, 100*sk.Top50Share)
+
+	ca := s.Fig15SBECages()
+	report.CageHistogram(w, "Fig 15: SBEs by cage, all cards", ca.All)
+	report.CageHistogram(w, "Fig 15 (cont): top-10 removed", ca.WithoutTop10)
+	report.CageHistogram(w, "Fig 15 (cont): top-50 removed", ca.WithoutTop50)
+
+	report.Correlations(w, "Figs 16-19: SBE vs resource utilization", s.Fig16to19Correlations())
+
+	uc := s.Fig20UserCorrelation()
+	report.Section(w, "Fig 20: SBE vs GPU core hours by user")
+	fmt.Fprintf(w, "users: %d; Spearman %.2f (all), %.2f (excl. top-10 offender nodes)\n",
+		uc.Users, uc.AllSpearman.Coefficient, uc.ExclSpearman.Coefficient)
+
+	wc := s.Fig21Workload()
+	report.Section(w, "Fig 21: workload characteristics")
+	fmt.Fprintf(w, "top-memory jobs below average core-hours: %v\n", wc.TopMemJobsBelowAvgCoreHours)
+	fmt.Fprintf(w, "small job among longest wall-clock runs:  %v\n", wc.SmallJobAmongLongest)
+	fmt.Fprintf(w, "nodes vs core-hours Spearman:              %.2f\n", wc.NodesCoreHoursSpearman)
+
+	report.Section(w, "Observations")
+	for _, oc := range s.CheckObservations() {
+		status := "PASS"
+		if !oc.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "[%s] Obs %2d: %s — %s\n", status, oc.Number, oc.Claim, oc.Detail)
+	}
+}

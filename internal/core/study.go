@@ -1,0 +1,225 @@
+// Package core orchestrates the full study: run the simulated
+// installation, collect its console log, job log and nvidia-smi samples,
+// and expose one accessor per paper figure plus automated checks of the
+// paper's fourteen observations. Everything downstream — the commands,
+// the examples, the benchmark harness — goes through a Study.
+package core
+
+import (
+	"io"
+	"time"
+
+	"titanre/internal/alert"
+	"titanre/internal/analysis"
+	"titanre/internal/console"
+	"titanre/internal/filtering"
+	"titanre/internal/gpu"
+	"titanre/internal/nvsmi"
+	"titanre/internal/scheduler"
+	"titanre/internal/sim"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// Study binds a simulated dataset to the analysis pipeline.
+type Study struct {
+	Config sim.Config
+	Result *sim.Result
+
+	byCode map[xid.Code][]console.Event
+	sbe    map[topology.NodeID]int64
+	top10  []topology.NodeID
+}
+
+// New runs the simulation for the given configuration and prepares the
+// analysis indices.
+func New(cfg sim.Config) *Study {
+	s := &Study{Config: cfg, Result: sim.Run(cfg)}
+	s.index()
+	return s
+}
+
+// FromResult wraps an existing dataset (e.g. parsed from logs on disk).
+func FromResult(res *sim.Result) *Study {
+	s := &Study{Config: res.Config, Result: res}
+	s.index()
+	return s
+}
+
+func (s *Study) index() {
+	s.byCode = make(map[xid.Code][]console.Event)
+	for _, e := range s.Result.Events {
+		s.byCode[e.Code] = append(s.byCode[e.Code], e)
+	}
+	s.sbe = analysis.NodeSBECounts(s.Result.Snapshot)
+	s.top10 = analysis.TopSBEOffenders(s.sbe, 10)
+}
+
+// Events returns the full console log.
+func (s *Study) Events() []console.Event { return s.Result.Events }
+
+// EventsOf returns the console events of one code.
+func (s *Study) EventsOf(code xid.Code) []console.Event { return s.byCode[code] }
+
+// Window returns the observation window.
+func (s *Study) Window() (time.Time, time.Time) { return s.Config.Start, s.Config.End }
+
+// SBECounts returns per-node single-bit totals from the final nvidia-smi
+// sweep.
+func (s *Study) SBECounts() map[topology.NodeID]int64 { return s.sbe }
+
+// Top10Offenders returns the ten worst SBE nodes.
+func (s *Study) Top10Offenders() []topology.NodeID { return s.top10 }
+
+// HeatmapCodes is the XID list of the Fig. 13 axes.
+func HeatmapCodes() []xid.Code {
+	return []xid.Code{
+		xid.OffTheBus, 13, 31, 32, 38, 43, 44, 45, 48, 57, 58, 59, 62, 63,
+	}
+}
+
+// ---- Figure accessors ----
+
+// Fig2MonthlyDBE is the monthly double-bit-error frequency.
+func (s *Study) Fig2MonthlyDBE() []analysis.MonthCount {
+	return analysis.MonthlyCounts(s.EventsOf(xid.DoubleBitError), s.Config.Start, s.Config.End)
+}
+
+// DBEMTBF is the headline "one DBE roughly every 160 hours".
+func (s *Study) DBEMTBF() (time.Duration, error) {
+	return analysis.MTBFOf(s.EventsOf(xid.DoubleBitError), s.Config.Start, s.Config.End)
+}
+
+// Fig3aDBESpatial is the DBE floor map.
+func (s *Study) Fig3aDBESpatial() analysis.Grid {
+	return analysis.SpatialMap(s.EventsOf(xid.DoubleBitError))
+}
+
+// Fig3bDBECages is the DBE cage distribution with distinct cards.
+func (s *Study) Fig3bDBECages() analysis.CageCounts {
+	return analysis.CageDistribution(s.EventsOf(xid.DoubleBitError))
+}
+
+// Fig3cDBEStructures is the DBE breakdown by memory structure.
+func (s *Study) Fig3cDBEStructures() map[gpu.Structure]int {
+	return analysis.StructureBreakdown(s.EventsOf(xid.DoubleBitError))
+}
+
+// Fig4MonthlyOTB is the monthly off-the-bus frequency.
+func (s *Study) Fig4MonthlyOTB() []analysis.MonthCount {
+	return analysis.MonthlyCounts(s.EventsOf(xid.OffTheBus), s.Config.Start, s.Config.End)
+}
+
+// Fig5OTBSpatial is the off-the-bus floor map and cage distribution.
+func (s *Study) Fig5OTBSpatial() (analysis.Grid, analysis.CageCounts) {
+	ev := s.EventsOf(xid.OffTheBus)
+	return analysis.SpatialMap(ev), analysis.CageDistribution(ev)
+}
+
+// retirementEvents merges XID 63 and 64, time-ordered.
+func (s *Study) retirementEvents() []console.Event {
+	merged := append([]console.Event{}, s.EventsOf(xid.ECCPageRetirement)...)
+	merged = append(merged, s.EventsOf(xid.ECCPageRetirementAlt)...)
+	console.SortEvents(merged)
+	return merged
+}
+
+// Fig6MonthlyRetirement is the monthly page-retirement frequency.
+func (s *Study) Fig6MonthlyRetirement() []analysis.MonthCount {
+	return analysis.MonthlyCounts(s.retirementEvents(), s.Config.Start, s.Config.End)
+}
+
+// Fig7RetirementSpatial is the page-retirement floor map and cages.
+func (s *Study) Fig7RetirementSpatial() (analysis.Grid, analysis.CageCounts) {
+	ev := s.retirementEvents()
+	return analysis.SpatialMap(ev), analysis.CageDistribution(ev)
+}
+
+// Fig8RetirementTiming is the retirement-after-DBE timing histogram.
+func (s *Study) Fig8RetirementTiming() analysis.RetirementTiming {
+	return analysis.RetirementDelays(s.Result.Events)
+}
+
+// Fig9DriverXIDMonthly returns monthly frequencies of XIDs 31, 32, 43, 44
+// as incident counts (five-second child filtering applied).
+func (s *Study) Fig9DriverXIDMonthly() map[xid.Code][]analysis.MonthCount {
+	out := make(map[xid.Code][]analysis.MonthCount)
+	for _, code := range []xid.Code{31, 32, 43, 44} {
+		filtered := filtering.TimeThreshold(s.EventsOf(code), 5*time.Second)
+		out[code] = analysis.MonthlyCounts(filtered, s.Config.Start, s.Config.End)
+	}
+	return out
+}
+
+// Fig10XID13Daily is the daily XID 13 incident series (five-second
+// filtered) with its burstiness index.
+func (s *Study) Fig10XID13Daily() ([]int, float64) {
+	filtered := filtering.TimeThreshold(s.EventsOf(13), 5*time.Second)
+	daily := analysis.DailyCounts(filtered, s.Config.Start, s.Config.End)
+	return daily, analysis.BurstinessIndex(daily)
+}
+
+// Fig11MicrocontrollerHalts returns the monthly XID 59 and 62 series.
+func (s *Study) Fig11MicrocontrollerHalts() (old, new59 []analysis.MonthCount) {
+	return analysis.MonthlyCounts(s.EventsOf(xid.MicrocontrollerHaltOld), s.Config.Start, s.Config.End),
+		analysis.MonthlyCounts(s.EventsOf(xid.MicrocontrollerHaltNew), s.Config.Start, s.Config.End)
+}
+
+// Fig12XID13Filtering returns the three XID 13 floor maps: unfiltered,
+// five-second filtered, and the suppressed children.
+func (s *Study) Fig12XID13Filtering() (all, filtered, children analysis.Grid) {
+	ev := s.EventsOf(13)
+	return analysis.SpatialMap(ev),
+		analysis.SpatialMap(filtering.TimeThreshold(ev, 5*time.Second)),
+		analysis.SpatialMap(filtering.Children(ev, 5*time.Second))
+}
+
+// Fig13Heatmaps returns the co-occurrence matrices with and without
+// same-type pairs, over a 300-second window.
+func (s *Study) Fig13Heatmaps() (withSame, withoutSame [][]float64, codes []xid.Code) {
+	codes = HeatmapCodes()
+	withSame = filtering.CooccurrenceMatrix(s.Result.Events, codes, 300*time.Second, false)
+	withoutSame = filtering.CooccurrenceMatrix(s.Result.Events, codes, 300*time.Second, true)
+	return withSame, withoutSame, codes
+}
+
+// Fig14SBESkew is the SBE spatial-skew analysis.
+func (s *Study) Fig14SBESkew() analysis.SBESkew { return analysis.AnalyzeSBESkew(s.sbe) }
+
+// Fig15SBECages is the SBE cage analysis.
+func (s *Study) Fig15SBECages() analysis.SBECageAnalysis { return analysis.AnalyzeSBECages(s.sbe) }
+
+// Fig16to19Correlations is the SBE-versus-utilization correlation table.
+func (s *Study) Fig16to19Correlations() []analysis.UtilizationCorrelation {
+	return analysis.SBEUtilizationCorrelations(s.Result.Samples, s.top10)
+}
+
+// Fig20UserCorrelation is the per-user SBE correlation.
+func (s *Study) Fig20UserCorrelation() analysis.UserCorrelation {
+	return analysis.SBEByUser(s.Result.Samples, s.top10)
+}
+
+// Fig21Workload is the workload characterization.
+func (s *Study) Fig21Workload() analysis.WorkloadCharacteristics {
+	return analysis.CharacterizeWorkload(s.Result.Jobs)
+}
+
+// Alerts replays the console log through the operator alerting engine
+// with the given configuration (alert.DefaultConfig mirrors the paper's
+// practices) and returns everything it raises.
+func (s *Study) Alerts(cfg alert.Config) []alert.Alert {
+	eng := alert.NewEngine(cfg)
+	eng.Run(s.Result.Events)
+	return eng.Alerts()
+}
+
+// JobLog returns the placement records.
+func (s *Study) JobLog() []scheduler.Record { return s.Result.Jobs }
+
+// Samples returns the per-job nvidia-smi samples.
+func (s *Study) Samples() []nvsmi.JobSample { return s.Result.Samples }
+
+// WriteReport renders every figure to w in paper order.
+func (s *Study) WriteReport(w io.Writer) {
+	writeReport(w, s)
+}

@@ -1,0 +1,184 @@
+// Package dataset stores and loads the synthetic field dataset on disk as
+// the four flat artifacts a site would actually keep:
+//
+//	console.log   raw console lines (SEC-parseable)
+//	jobs.tsv      batch job log with node allocations
+//	samples.tsv   per-job nvidia-smi SBE samples
+//	snapshot.tsv  machine-wide nvidia-smi sweep
+//
+// Write and Load round-trip, so `titansim -out d` followed by
+// `titanreport -data d` analyzes exactly the dataset that was written —
+// through the same console-parsing path the study used.
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/nvsmi"
+	"titanre/internal/scheduler"
+	"titanre/internal/sim"
+)
+
+// Artifact file names inside a dataset directory.
+const (
+	ConsoleFile  = "console.log"
+	JobsFile     = "jobs.tsv"
+	SamplesFile  = "samples.tsv"
+	SnapshotFile = "snapshot.tsv"
+)
+
+// Write stores a result's artifacts into dir, creating it if needed.
+func Write(dir string, res *sim.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := writeFile(dir, ConsoleFile, func(f *os.File) error {
+		return console.WriteLog(f, res.Events)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(dir, JobsFile, func(f *os.File) error {
+		return scheduler.WriteJobLog(f, res.Jobs)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(dir, SamplesFile, func(f *os.File) error {
+		return nvsmi.WriteSamples(f, res.Samples)
+	}); err != nil {
+		return err
+	}
+	return writeFile(dir, SnapshotFile, func(f *os.File) error {
+		return nvsmi.WriteSnapshot(f, res.Snapshot)
+	})
+}
+
+func writeFile(dir, name string, fn func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: writing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: closing %s: %w", name, err)
+	}
+	return nil
+}
+
+// Load reads a dataset directory back into a Result. The passed config
+// supplies the operational context the flat files cannot carry (epoch
+// dates, the faulty node, the propagation window); its Start and End are
+// replaced by the observation window inferred from the data when they are
+// zero. Per-job sample node lists are rejoined from the job log so
+// offender-exclusion analyses keep working. Fleet state is not
+// reconstructible from flat files and is left nil.
+func Load(dir string, cfg sim.Config) (*sim.Result, error) {
+	res := &sim.Result{Config: cfg}
+
+	cf, err := os.Open(filepath.Join(dir, ConsoleFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	events, err := console.NewCorrelator().ParseAll(cf)
+	cf.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Events = events
+
+	jf, err := os.Open(filepath.Join(dir, JobsFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	jobs, err := scheduler.ReadJobLog(jf)
+	jf.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = jobs
+	for _, r := range jobs {
+		res.NodeHours += r.GPUCoreHours()
+	}
+
+	sf, err := os.Open(filepath.Join(dir, SamplesFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	samples, err := nvsmi.ReadSamples(sf)
+	sf.Close()
+	if err != nil {
+		return nil, err
+	}
+	// Rejoin allocations: the sample format does not repeat node lists.
+	byID := make(map[console.JobID]int, len(jobs))
+	for i, r := range jobs {
+		byID[r.ID] = i
+	}
+	for i := range samples {
+		if idx, ok := byID[samples[i].Job]; ok {
+			samples[i].UsedNodes = jobs[idx].Nodes
+		}
+	}
+	res.Samples = samples
+
+	nf, err := os.Open(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	snap, err := nvsmi.ReadSnapshot(nf)
+	nf.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = snap
+
+	if res.Config.Start.IsZero() || res.Config.End.IsZero() {
+		start, end := inferWindow(res)
+		if res.Config.Start.IsZero() {
+			res.Config.Start = start
+		}
+		if res.Config.End.IsZero() {
+			res.Config.End = end
+		}
+	}
+	return res, nil
+}
+
+// inferWindow derives the observation window from the data: the earliest
+// job submission or event, truncated to its month, through the month
+// boundary after the last job submission or event. Job end times are not
+// consulted because jobs running at the end of the collection window end
+// after it.
+func inferWindow(res *sim.Result) (time.Time, time.Time) {
+	var lo, hi time.Time
+	touch := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if lo.IsZero() || t.Before(lo) {
+			lo = t
+		}
+		if hi.IsZero() || t.After(hi) {
+			hi = t
+		}
+	}
+	for _, e := range res.Events {
+		touch(e.Time)
+	}
+	for _, j := range res.Jobs {
+		touch(j.Spec.Submit)
+	}
+	if lo.IsZero() {
+		now := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+		return now, now.AddDate(0, 1, 0)
+	}
+	start := time.Date(lo.Year(), lo.Month(), 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(hi.Year(), hi.Month(), 1, 0, 0, 0, 0, time.UTC).AddDate(0, 1, 0)
+	return start, end
+}

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"titanre/internal/xid"
+)
+
+// Parent-child cascades.
+//
+// The paper (Section 2.2, Fig. 13, Observation 9) observes that one real
+// "parent" error is often followed shortly by "child" error events: a
+// double bit error is likely followed by XID 45 (preemptive cleanup) and
+// XID 63 (page retirement), and a graphics engine exception (XID 13) is
+// likely followed by XID 43 (GPU stopped processing). Application-related
+// XIDs additionally repeat on the same or sibling nodes of a job within a
+// 300-second window, producing the strong diagonal of Fig. 13, while OTB,
+// XID 38, XID 48, and XID 63 are isolated events.
+
+// CascadeRule says: after a parent event of code Parent, with probability
+// Probability a child event of code Child appears on the same node after a
+// delay drawn uniformly from [MinDelay, MaxDelay).
+type CascadeRule struct {
+	Parent      xid.Code
+	Child       xid.Code
+	Probability float64
+	MinDelay    time.Duration
+	MaxDelay    time.Duration
+}
+
+// DefaultCascadeRules returns the rule set matching Fig. 13: XID 48 is
+// followed by XID 45; XID 13 by XID 43; XID 43 occasionally by XID 45.
+// The XID 48 -> XID 63 relationship is not a rule here because page
+// retirement is produced mechanistically by the gpu package's retirement
+// state machine.
+func DefaultCascadeRules() []CascadeRule {
+	return []CascadeRule{
+		{Parent: xid.DoubleBitError, Child: xid.PreemptiveCleanup, Probability: 0.70, MinDelay: 2 * time.Second, MaxDelay: 90 * time.Second},
+		{Parent: xid.GraphicsEngineException, Child: xid.GPUStoppedProcessing, Probability: 0.55, MinDelay: 1 * time.Second, MaxDelay: 45 * time.Second},
+		{Parent: xid.GPUMemoryPageFault, Child: xid.GPUStoppedProcessing, Probability: 0.25, MinDelay: 1 * time.Second, MaxDelay: 45 * time.Second},
+		{Parent: xid.GPUStoppedProcessing, Child: xid.PreemptiveCleanup, Probability: 0.20, MinDelay: 1 * time.Second, MaxDelay: 60 * time.Second},
+	}
+}
+
+// Child is a generated follow-on event (code + absolute time); the node is
+// the parent's node.
+type Child struct {
+	Code  xid.Code
+	Delay time.Duration
+}
+
+// Expand applies the rules to one parent code and draws the children it
+// spawns. Cascades do not chain (a child does not spawn grandchildren);
+// on Titan the SEC window is short enough that second-order effects are
+// indistinguishable from first-order ones.
+func Expand(rng *rand.Rand, rules []CascadeRule, parent xid.Code) []Child {
+	var out []Child
+	for _, r := range rules {
+		if r.Parent != parent {
+			continue
+		}
+		if rng.Float64() >= r.Probability {
+			continue
+		}
+		span := r.MaxDelay - r.MinDelay
+		d := r.MinDelay
+		if span > 0 {
+			d += time.Duration(rng.Int63n(int64(span)))
+		}
+		out = append(out, Child{Code: r.Child, Delay: d})
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+
+	"titanre/internal/gpu"
+)
+
+// Per-card susceptibility.
+//
+// The paper's single-bit-error analysis (Section 3.3, Observation 10)
+// found a highly skewed distribution: fewer than 5% of Titan's 18,688
+// cards ever experienced an SBE, a handful of "offender" cards produced
+// almost all of them, and removing the top 50 offenders left an almost
+// homogeneous residue. Susceptibility is a property of the card, not of
+// its slot: distinct SBE-experiencing cards are spread evenly across
+// cages.
+//
+// The model is a two-part mixture. A card is susceptible with probability
+// SusceptibleFraction; susceptible cards draw a log-normal SBE rate whose
+// large sigma produces the offender tail. Non-susceptible cards never
+// produce an SBE, matching the "<1000 cards ever" observation. Cards also
+// carry a mild gamma-distributed DBE weight so double bit errors are not
+// perfectly uniform across cards.
+
+// CardProfile is the inherent reliability character of one physical card.
+type CardProfile struct {
+	// SBERatePerActiveHour is the card's corrected-error rate while a
+	// job is running on its node; zero for non-susceptible cards.
+	SBERatePerActiveHour float64
+	// DBEWeight scales the card's share of machine-wide double bit
+	// errors (mean 1).
+	DBEWeight float64
+}
+
+// ProfileParams configures profile assignment.
+type ProfileParams struct {
+	// SusceptibleFraction is the probability a card can produce SBEs at
+	// all. The paper observed just under 5%.
+	SusceptibleFraction float64
+	// SBELogMu and SBELogSigma are the log-normal parameters of the
+	// susceptible-card SBE rate (per active hour). A sigma around 2
+	// produces the top-10/top-50 offender structure.
+	SBELogMu    float64
+	SBELogSigma float64
+	// DBEWeightShape is the gamma shape for per-card DBE weight
+	// (scale adjusted so the mean is 1). Larger shapes mean more
+	// uniform cards.
+	DBEWeightShape float64
+	// DBEProneFraction of cards are inherently DBE-prone ("some GPU
+	// cards may inherently be more prone to DBEs even if they are
+	// situated in the lower cages"); they receive DBEProneWeight before
+	// the population is renormalized to mean 1.
+	DBEProneFraction float64
+	DBEProneWeight   float64
+}
+
+// DefaultProfileParams returns the calibration used by the study
+// reproduction: ~4.8% susceptible cards, heavy-tailed rates that put
+// roughly half of all SBEs on the top ten cards, and mildly varying DBE
+// weights.
+func DefaultProfileParams() ProfileParams {
+	return ProfileParams{
+		SusceptibleFraction: 0.048,
+		SBELogMu:            -3.2, // median ~0.04 SBE per active hour
+		SBELogSigma:         2.1,
+		DBEWeightShape:      3,
+		DBEProneFraction:    0.001,
+		DBEProneWeight:      150,
+	}
+}
+
+// AssignProfiles draws a profile for each of n cards. DBE weights are
+// renormalized so the population mean is exactly 1, which keeps the
+// machine-wide DBE rate independent of the prone-card parameters.
+func AssignProfiles(rng *rand.Rand, n int, p ProfileParams) []CardProfile {
+	out := make([]CardProfile, n)
+	var weightSum float64
+	for i := range out {
+		w := gammaMean1(rng, p.DBEWeightShape)
+		if p.DBEProneWeight > 0 && rng.Float64() < p.DBEProneFraction {
+			w = p.DBEProneWeight
+		}
+		out[i] = CardProfile{DBEWeight: w}
+		weightSum += w
+		if rng.Float64() < p.SusceptibleFraction {
+			out[i].SBERatePerActiveHour = LogNormal(rng, p.SBELogMu, p.SBELogSigma)
+		}
+	}
+	if n > 0 && weightSum > 0 {
+		mean := weightSum / float64(n)
+		for i := range out {
+			out[i].DBEWeight /= mean
+		}
+	}
+	return out
+}
+
+// gammaMean1 draws from a gamma distribution with the given shape, scaled
+// to mean 1, using the Marsaglia-Tsang method.
+func gammaMean1(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 1
+	}
+	return gamma(rng, shape) / shape
+}
+
+func gamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: gamma(a) = gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / (3.0 * math.Sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// SBEStructureWeights is the categorical distribution of which structure a
+// single bit error lands in. Most SBEs happen in the L2 cache despite its
+// small size (Observation 11).
+func SBEStructureWeights() []float64 {
+	w := make([]float64, gpu.NumStructures)
+	w[gpu.L2Cache] = 0.62
+	w[gpu.DeviceMemory] = 0.12
+	w[gpu.RegisterFile] = 0.12
+	w[gpu.L1Shared] = 0.09
+	w[gpu.TextureMemory] = 0.05
+	return w
+}
+
+// DBEStructureWeights is the categorical distribution of which structure a
+// double bit error lands in: 86% device memory, 14% register file
+// (paper Fig. 3(c), Observation 3).
+func DBEStructureWeights() []float64 {
+	w := make([]float64, gpu.NumStructures)
+	w[gpu.DeviceMemory] = 0.86
+	w[gpu.RegisterFile] = 0.14
+	return w
+}

@@ -1,0 +1,182 @@
+package gpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Serial uniquely identifies a physical GPU card across its lifetime. A
+// card keeps its serial when it is moved between node slots (e.g. swapped
+// into the hot-spare cluster and replaced), which is what lets the study
+// distinguish "errors at a location" from "errors on a card".
+type Serial uint32
+
+func (s Serial) String() string { return fmt.Sprintf("GPU-%08d", uint32(s)) }
+
+// ECCOutcome is what the protection hardware does with a raw bit fault.
+type ECCOutcome int
+
+const (
+	// Corrected: SECDED fixed a single bit error; execution continues.
+	Corrected ECCOutcome = iota
+	// Detected: SECDED (or parity) caught an uncorrectable error; the
+	// application is terminated because correct execution can no longer
+	// be guaranteed.
+	Detected
+	// Silent: the fault hit an unprotected structure; it may cause a
+	// crash or silent data corruption that ECC accounting never sees.
+	Silent
+)
+
+func (o ECCOutcome) String() string {
+	switch o {
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Silent:
+		return "silent"
+	default:
+		return fmt.Sprintf("ECCOutcome(%d)", int(o))
+	}
+}
+
+// Classify returns the ECC outcome for a raw fault of the given multiplicity
+// (1 = single bit upset, >=2 = multi-bit upset) in a structure.
+func Classify(s Structure, bits int) ECCOutcome {
+	info := InfoOf(s)
+	switch info.Protection {
+	case SECDED:
+		if bits <= 1 {
+			return Corrected
+		}
+		return Detected
+	case Parity:
+		// Parity detects any odd number of flipped bits but corrects
+		// nothing; treat every parity hit as detected.
+		return Detected
+	default:
+		return Silent
+	}
+}
+
+// ErrorCounts are the aggregate ECC counters a card's InfoROM maintains,
+// broken down by structure. nvidia-smi reports these totals; they carry no
+// timestamps (the paper's reason SBEs cannot be correlated with console
+// events directly).
+type ErrorCounts struct {
+	SingleBit [NumStructures]int64
+	DoubleBit [NumStructures]int64
+}
+
+// TotalSBE returns the aggregate single-bit count across structures.
+func (c *ErrorCounts) TotalSBE() int64 {
+	var t int64
+	for _, v := range c.SingleBit {
+		t += v
+	}
+	return t
+}
+
+// TotalDBE returns the aggregate double-bit count across structures.
+func (c *ErrorCounts) TotalDBE() int64 {
+	var t int64
+	for _, v := range c.DoubleBit {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into c.
+func (c *ErrorCounts) Add(other ErrorCounts) {
+	for i := range c.SingleBit {
+		c.SingleBit[i] += other.SingleBit[i]
+		c.DoubleBit[i] += other.DoubleBit[i]
+	}
+}
+
+// Sub returns c minus other, clamping at zero (counters can regress when a
+// card is swapped for a spare between snapshots).
+func (c ErrorCounts) Sub(other ErrorCounts) ErrorCounts {
+	var out ErrorCounts
+	for i := range c.SingleBit {
+		if d := c.SingleBit[i] - other.SingleBit[i]; d > 0 {
+			out.SingleBit[i] = d
+		}
+		if d := c.DoubleBit[i] - other.DoubleBit[i]; d > 0 {
+			out.DoubleBit[i] = d
+		}
+	}
+	return out
+}
+
+// Card is the mutable state of one physical K20X board.
+type Card struct {
+	Serial Serial
+
+	// InfoROM is the persistent error record nvidia-smi queries. It can
+	// lag reality: a DBE that takes the node down before the record is
+	// flushed is never persisted (the driver bug behind Observation 2).
+	InfoROM ErrorCounts
+
+	// TrueCounts is ground truth for every ECC event the card ever saw,
+	// used by experiments to quantify logging inconsistency. Operational
+	// tooling must use InfoROM instead.
+	TrueCounts ErrorCounts
+
+	// Retirement tracks dynamic page retirement state.
+	Retirement RetirementState
+
+	// SBECounterBroken reproduces the logging inconsistency the paper
+	// could not fully explain: some cards report more double bit errors
+	// than single bit errors over the same period. On such cards the
+	// InfoROM single-bit counter silently fails to advance while ground
+	// truth still accumulates.
+	SBECounterBroken bool
+
+	// Retired marks a card pulled from production into the hot-spare
+	// cluster after exceeding the DBE threshold.
+	Retired bool
+	// RetiredAt is when the card was pulled (zero if in service).
+	RetiredAt time.Time
+	// DBEEvents counts console-visible DBE incidents on this card, used
+	// by the hot-spare policy.
+	DBEEvents int
+}
+
+// NewCard returns a card with a given serial and clean state.
+func NewCard(serial Serial) *Card {
+	return &Card{Serial: serial}
+}
+
+// RecordSBE applies one corrected single-bit error in structure s on page
+// page. It updates ground truth, the InfoROM, and the retirement state
+// machine, and reports whether the second-SBE-on-a-page retirement rule
+// fired.
+func (c *Card) RecordSBE(s Structure, page int32) (retired bool) {
+	c.TrueCounts.SingleBit[s]++
+	if !c.SBECounterBroken {
+		c.InfoROM.SingleBit[s]++
+	}
+	if s == DeviceMemory {
+		return c.Retirement.recordSBE(page)
+	}
+	return false
+}
+
+// RecordDBE applies one detected-uncorrectable double-bit error in
+// structure s on page page. infoROMFlushed says whether the driver managed
+// to persist the incident before the node went down; when false the
+// InfoROM counter is not advanced, reproducing the undercount the paper
+// observed. It reports whether the one-DBE retirement rule fired.
+func (c *Card) RecordDBE(s Structure, page int32, infoROMFlushed bool) (retired bool) {
+	c.TrueCounts.DoubleBit[s]++
+	c.DBEEvents++
+	if infoROMFlushed {
+		c.InfoROM.DoubleBit[s]++
+	}
+	if s == DeviceMemory {
+		return c.Retirement.recordDBE(page)
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+// Package gpu models the NVIDIA Tesla K20X (GK110) device installed in
+// every Titan compute node: its memory structures and their ECC
+// protection, the SECDED error semantics, the InfoROM error counters that
+// nvidia-smi reads, and the dynamic page-retirement state machine.
+//
+// The model captures exactly the behaviours the reliability study depends
+// on: which structure an error lands in (86% of DBEs in device memory,
+// 14% in the register file; most SBEs in the L2 cache), how SECDED
+// reacts (correct SBEs silently, detect DBEs and terminate the
+// application), when a page is retired (one DBE, or two SBEs on the same
+// page), and the driver bug that loses a DBE's InfoROM record when the
+// node goes down before the record is flushed — the reason nvidia-smi
+// undercounts DBEs relative to console logs (Observation 2).
+package gpu
+
+import "fmt"
+
+// Structure identifies a memory structure on the K20X die or board.
+type Structure int
+
+const (
+	DeviceMemory  Structure = iota // 6 GB GDDR5 on-board memory
+	L2Cache                        // 1536 KB shared L2
+	RegisterFile                   // 64 K registers per SM, 14 SMs
+	L1Shared                       // 64 KB combined shared memory + L1 per SM
+	ReadOnlyData                   // 48 KB read-only data cache per SM
+	TextureMemory                  // texture units
+	numStructures
+)
+
+// NumStructures is the number of modeled memory structures.
+const NumStructures = int(numStructures)
+
+func (s Structure) String() string {
+	switch s {
+	case DeviceMemory:
+		return "device memory"
+	case L2Cache:
+		return "L2 cache"
+	case RegisterFile:
+		return "register file"
+	case L1Shared:
+		return "L1/shared memory"
+	case ReadOnlyData:
+		return "read-only data cache"
+	case TextureMemory:
+		return "texture memory"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// Protection describes the error protection scheme of a structure.
+type Protection int
+
+const (
+	SECDED      Protection = iota // single error correct, double error detect
+	Parity                        // detect-only parity
+	Unprotected                   // no coverage (logic, queues, schedulers)
+)
+
+func (p Protection) String() string {
+	switch p {
+	case SECDED:
+		return "SECDED ECC"
+	case Parity:
+		return "parity"
+	case Unprotected:
+		return "unprotected"
+	default:
+		return fmt.Sprintf("Protection(%d)", int(p))
+	}
+}
+
+// StructureInfo describes one memory structure of the K20X.
+type StructureInfo struct {
+	Structure  Structure
+	Protection Protection
+	// Bytes is the total capacity across the whole device (all 14 SMs
+	// for per-SM structures).
+	Bytes int64
+}
+
+// K20X architectural constants.
+const (
+	SMs               = 14
+	CUDACoresPerSM    = 192
+	CUDACores         = SMs * CUDACoresPerSM // 2688
+	DeviceMemoryBytes = 6 << 30              // 6 GB GDDR5
+	L2CacheBytes      = 1536 << 10           // 1536 KB
+	RegistersPerSM    = 64 << 10             // 64K 32-bit registers
+	RegisterFileBytes = int64(SMs) * RegistersPerSM * 4
+	L1SharedBytes     = int64(SMs) * (64 << 10)
+	ReadOnlyBytes     = int64(SMs) * (48 << 10)
+	TextureBytes      = int64(SMs) * (12 << 10)
+	// PageBytes is the framebuffer page granularity used by dynamic page
+	// retirement.
+	PageBytes = 64 << 10
+)
+
+// Structures returns the protection map of the K20X: register files,
+// shared memory, L1 and L2 caches, and device memory are SECDED
+// protected; the read-only data cache is parity protected.
+func Structures() []StructureInfo {
+	return []StructureInfo{
+		{DeviceMemory, SECDED, DeviceMemoryBytes},
+		{L2Cache, SECDED, L2CacheBytes},
+		{RegisterFile, SECDED, RegisterFileBytes},
+		{L1Shared, SECDED, L1SharedBytes},
+		{ReadOnlyData, Parity, ReadOnlyBytes},
+		{TextureMemory, SECDED, TextureBytes},
+	}
+}
+
+// InfoOf returns the StructureInfo for one structure.
+func InfoOf(s Structure) StructureInfo {
+	for _, si := range Structures() {
+		if si.Structure == s {
+			return si
+		}
+	}
+	panic(fmt.Sprintf("gpu: unknown structure %d", int(s)))
+}
+
+// DevicePages is the number of retirable framebuffer pages.
+const DevicePages = DeviceMemoryBytes / PageBytes

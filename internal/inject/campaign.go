@@ -1,0 +1,212 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Structure is the architectural state an injection lands in.
+type Structure int
+
+const (
+	// RegisterTarget flips a bit in the register file (SECDED protected
+	// on the K20X).
+	RegisterTarget Structure = iota
+	// MemoryTarget flips a bit in device memory (SECDED protected).
+	MemoryTarget
+	// PipelineTarget corrupts the in-flight dynamic instruction —
+	// operand or opcode bits in the dispatch/scheduling logic the K20X
+	// leaves unprotected ("logic, queues, the thread block scheduler,
+	// warp scheduler, instruction dispatch unit ... are not ECC
+	// protected").
+	PipelineTarget
+	numTargets
+)
+
+func (s Structure) String() string {
+	switch s {
+	case RegisterTarget:
+		return "register file"
+	case MemoryTarget:
+		return "device memory"
+	case PipelineTarget:
+		return "pipeline/dispatch logic"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// Outcome classifies one injection experiment.
+type Outcome int
+
+const (
+	Masked Outcome = iota
+	Corrected
+	DetectedCrash
+	SDC
+	Crash
+	Hang
+	numOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case Corrected:
+		return "corrected by ECC"
+	case DetectedCrash:
+		return "detected by ECC (crash)"
+	case SDC:
+		return "silent data corruption"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Injection describes one experiment.
+type Injection struct {
+	Target Structure
+	// Step is the dynamic instruction index at which the flip occurs.
+	Step int
+	// Index selects the register or memory word (ignored for pipeline).
+	Index int
+	// Bit is the bit to flip (0-63 for data, small for pipeline fields).
+	Bit uint
+	// Bits is the multiplicity: 1 models an SBE, 2 a DBE. Only
+	// meaningful for ECC-protected targets.
+	Bits int
+}
+
+// ECCMode says whether the protected structures have ECC enabled (Titan
+// runs with ECC on; consumer/older parts per Haque & Pande ran without).
+type ECCMode bool
+
+const (
+	ECCOn  ECCMode = true
+	ECCOff ECCMode = false
+)
+
+// RunInjection executes one experiment and classifies its outcome against
+// the provided golden output.
+func RunInjection(k *Kernel, golden []int64, inj Injection, ecc ECCMode) (Outcome, error) {
+	if inj.Bits <= 0 {
+		inj.Bits = 1
+	}
+	// ECC intercepts flips in protected structures before they are ever
+	// architecturally visible.
+	if ecc == ECCOn && (inj.Target == RegisterTarget || inj.Target == MemoryTarget) {
+		if inj.Bits == 1 {
+			return Corrected, nil
+		}
+		return DetectedCrash, nil // SECDED detects, cannot correct: terminate
+	}
+	fired := false
+	out, err := k.run(func(step int, st *vmState, instr *Instr) {
+		if fired || step != inj.Step {
+			return
+		}
+		fired = true
+		switch inj.Target {
+		case RegisterTarget:
+			if len(st.regs) > 0 {
+				st.regs[inj.Index%len(st.regs)] ^= 1 << (inj.Bit % 64)
+			}
+		case MemoryTarget:
+			if len(st.mem) > 0 {
+				st.mem[inj.Index%len(st.mem)] ^= 1 << (inj.Bit % 64)
+			}
+		case PipelineTarget:
+			// Corrupt the dynamic instruction: operand index or opcode.
+			switch inj.Bit % 4 {
+			case 0:
+				instr.Dst ^= 1 << (inj.Bit % 3)
+			case 1:
+				instr.A ^= 1 << (inj.Bit % 3)
+			case 2:
+				instr.B ^= 1 << (inj.Bit % 3)
+			case 3:
+				instr.Op ^= OpCode(1 << (inj.Bit % 2))
+			}
+		}
+	})
+	switch {
+	case errors.Is(err, ErrHang):
+		return Hang, nil
+	case err != nil:
+		return Crash, nil
+	}
+	if len(out) != len(golden) {
+		return SDC, nil
+	}
+	for i := range out {
+		if out[i] != golden[i] {
+			return SDC, nil
+		}
+	}
+	return Masked, nil
+}
+
+// AVFResult aggregates a campaign for one structure.
+type AVFResult struct {
+	Target Structure
+	Trials int
+	Counts [numOutcomes]int
+}
+
+// Rate returns the fraction of trials with the given outcome.
+func (r AVFResult) Rate(o Outcome) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(r.Trials)
+}
+
+// AVF is the architectural vulnerability factor: the fraction of
+// injections that affect the program (SDC + crashes + hangs + ECC-detected
+// terminations).
+func (r AVFResult) AVF() float64 {
+	return r.Rate(SDC) + r.Rate(Crash) + r.Rate(Hang) + r.Rate(DetectedCrash)
+}
+
+// Campaign runs trials random injections per structure and aggregates the
+// outcomes. DBEFraction of protected-structure injections carry two bits
+// (uncorrectable); the rest are single-bit.
+func Campaign(rng *rand.Rand, k *Kernel, trials int, ecc ECCMode, dbeFraction float64) ([]AVFResult, error) {
+	golden, err := k.Golden()
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden run failed: %w", err)
+	}
+	dyn, err := k.DynamicLength()
+	if err != nil {
+		return nil, err
+	}
+	var results []AVFResult
+	for tgt := Structure(0); tgt < numTargets; tgt++ {
+		res := AVFResult{Target: tgt, Trials: trials}
+		for i := 0; i < trials; i++ {
+			inj := Injection{
+				Target: tgt,
+				Step:   rng.Intn(dyn),
+				Index:  rng.Intn(1 << 20),
+				Bit:    uint(rng.Intn(64)),
+				Bits:   1,
+			}
+			if tgt != PipelineTarget && rng.Float64() < dbeFraction {
+				inj.Bits = 2
+			}
+			out, err := RunInjection(k, golden, inj, ecc)
+			if err != nil {
+				return nil, err
+			}
+			res.Counts[out]++
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

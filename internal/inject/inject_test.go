@@ -1,0 +1,245 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVecAddGolden(t *testing.T) {
+	const n = 16
+	k := VecAdd(n)
+	out, err := k.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := int64(i*7+3) + int64(i*13+1)
+		if out[2*n+i] != want {
+			t.Fatalf("c[%d] = %d, want %d", i, out[2*n+i], want)
+		}
+	}
+}
+
+func TestReduceGolden(t *testing.T) {
+	const n = 20
+	k := Reduce(n)
+	out, err := k.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i*11 + 5)
+	}
+	if out[n] != want {
+		t.Fatalf("sum = %d, want %d", out[n], want)
+	}
+}
+
+func TestMatMulGolden(t *testing.T) {
+	const d = 4
+	k := MatMul(d)
+	out, err := k.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			var want int64
+			for kk := 0; kk < d; kk++ {
+				a := int64((i*d+kk)%7 + 1)
+				b := int64((kk*d+j)%5 + 2)
+				want += a * b
+			}
+			if got := out[2*d*d+i*d+j]; got != want {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDynamicLength(t *testing.T) {
+	k := VecAdd(8)
+	dyn, err := k.DynamicLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 setup + 8 iterations x 7 instructions + final halt.
+	if dyn < 8*7 || dyn > 8*7+8 {
+		t.Errorf("dynamic length = %d", dyn)
+	}
+}
+
+func TestHangDetection(t *testing.T) {
+	k := &Kernel{
+		Name:     "spin",
+		Prog:     []Instr{{Op: OpAddI, Dst: 0, A: 1, Imm: 1}, {Op: OpJumpNZ, A: 0, Target: 0}},
+		Mem:      []int64{0},
+		Regs:     4,
+		MaxSteps: 100,
+	}
+	if _, err := k.Golden(); err != ErrHang {
+		t.Errorf("err = %v, want hang", err)
+	}
+}
+
+func TestBadProgramErrors(t *testing.T) {
+	oob := &Kernel{Prog: []Instr{{Op: OpLoad, Dst: 0, A: 1, Imm: 99}}, Mem: []int64{0}, Regs: 4}
+	if _, err := oob.Golden(); err != ErrBadAddress {
+		t.Errorf("err = %v, want bad address", err)
+	}
+	jump := &Kernel{Prog: []Instr{{Op: OpAddI, Dst: 0, A: 0, Imm: 1}, {Op: OpJumpNZ, A: 0, Target: 99}}, Mem: nil, Regs: 4}
+	if _, err := jump.Golden(); err != ErrBadJump {
+		t.Errorf("err = %v, want bad jump", err)
+	}
+	reg := &Kernel{Prog: []Instr{{Op: OpAdd, Dst: 9, A: 0, B: 0}}, Mem: nil, Regs: 4}
+	if _, err := reg.Golden(); err != ErrBadReg {
+		t.Errorf("err = %v, want bad register", err)
+	}
+}
+
+func TestECCInterception(t *testing.T) {
+	k := VecAdd(8)
+	golden, _ := k.Golden()
+	// Single-bit flip in a protected structure with ECC on: corrected.
+	out, err := RunInjection(k, golden, Injection{Target: RegisterTarget, Step: 5, Index: 2, Bit: 3, Bits: 1}, ECCOn)
+	if err != nil || out != Corrected {
+		t.Errorf("SBE with ECC = %v, %v; want corrected", out, err)
+	}
+	// Double-bit flip: detected, terminates (Titan's DBE semantics).
+	out, err = RunInjection(k, golden, Injection{Target: MemoryTarget, Step: 5, Index: 2, Bit: 3, Bits: 2}, ECCOn)
+	if err != nil || out != DetectedCrash {
+		t.Errorf("DBE with ECC = %v, %v; want detected crash", out, err)
+	}
+	// Pipeline flips bypass ECC entirely.
+	out, err = RunInjection(k, golden, Injection{Target: PipelineTarget, Step: 5, Bit: 1}, ECCOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == Corrected || out == DetectedCrash {
+		t.Errorf("pipeline injection must bypass ECC, got %v", out)
+	}
+}
+
+func TestInjectionWithoutECCCausesSDC(t *testing.T) {
+	const n = 8
+	k := VecAdd(n)
+	golden, _ := k.Golden()
+	// Flip a bit of the accumulator register right after the add of the
+	// first iteration: the stored c[0] must be wrong.
+	out, err := RunInjection(k, golden, Injection{
+		Target: RegisterTarget, Step: 6, Index: 4, Bit: 0, Bits: 1,
+	}, ECCOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != SDC {
+		t.Errorf("outcome = %v, want SDC", out)
+	}
+}
+
+func TestMaskedInjection(t *testing.T) {
+	k := VecAdd(8)
+	golden, _ := k.Golden()
+	// Flip a register that is dead at the end of execution (a scratch
+	// operand after its last use): inject into r2 at the very last
+	// dynamic instruction.
+	dyn, _ := k.DynamicLength()
+	out, err := RunInjection(k, golden, Injection{
+		Target: RegisterTarget, Step: dyn - 1, Index: 2, Bit: 7, Bits: 1,
+	}, ECCOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Masked {
+		t.Errorf("outcome = %v, want masked (dead value)", out)
+	}
+}
+
+func TestCampaignShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	k := MatMul(4)
+	const trials = 400
+
+	on, err := Campaign(rng, k, trials, ECCOn, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Campaign(rng, k, trials, ECCOff, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTarget := func(rs []AVFResult, tgt Structure) AVFResult {
+		for _, r := range rs {
+			if r.Target == tgt {
+				return r
+			}
+		}
+		t.Fatalf("missing target %v", tgt)
+		return AVFResult{}
+	}
+
+	// With ECC on, protected structures produce no SDC at all.
+	for _, tgt := range []Structure{RegisterTarget, MemoryTarget} {
+		r := byTarget(on, tgt)
+		if r.Counts[SDC] != 0 || r.Counts[Crash] != 0 {
+			t.Errorf("%v with ECC: SDC=%d crash=%d, want 0", tgt, r.Counts[SDC], r.Counts[Crash])
+		}
+		if r.Rate(Corrected) < 0.9 {
+			t.Errorf("%v with ECC: corrected rate %.2f, want ~0.95", tgt, r.Rate(Corrected))
+		}
+	}
+	// Without ECC, memory injections corrupt outputs far more often
+	// (Haque & Pande's order-of-magnitude observation).
+	memOn := byTarget(on, MemoryTarget)
+	memOff := byTarget(off, MemoryTarget)
+	if memOff.Rate(SDC) < 0.2 {
+		t.Errorf("memory SDC rate without ECC = %.2f, want substantial", memOff.Rate(SDC))
+	}
+	if memOn.Rate(SDC) != 0 {
+		t.Error("memory SDC with ECC must be zero")
+	}
+	// Pipeline injections are dangerous regardless of ECC.
+	pipe := byTarget(on, PipelineTarget)
+	if pipe.AVF() < 0.15 {
+		t.Errorf("pipeline AVF = %.2f, want substantial", pipe.AVF())
+	}
+	if pipe.Counts[Corrected] != 0 || pipe.Counts[DetectedCrash] != 0 {
+		t.Error("pipeline injections must never be ECC-handled")
+	}
+	// Some injections are always masked (dead values, low bits).
+	if byTarget(off, RegisterTarget).Rate(Masked) == 0 {
+		t.Error("expected some masked register injections")
+	}
+}
+
+func TestOutcomeAndStructureStrings(t *testing.T) {
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if o.String() == "" {
+			t.Errorf("outcome %d has no name", int(o))
+		}
+	}
+	for s := Structure(0); s < numTargets; s++ {
+		if s.String() == "" {
+			t.Errorf("structure %d has no name", int(s))
+		}
+	}
+	if OpCode(99).String() != "op(99)" {
+		t.Error("unknown opcode string wrong")
+	}
+}
+
+func TestAVFResultRates(t *testing.T) {
+	var r AVFResult
+	if r.Rate(SDC) != 0 || r.AVF() != 0 {
+		t.Error("zero-trial result should rate 0")
+	}
+	r.Trials = 10
+	r.Counts[SDC] = 2
+	r.Counts[Crash] = 1
+	r.Counts[Masked] = 7
+	if math.Abs(r.AVF()-0.3) > 1e-12 {
+		t.Errorf("AVF = %v, want 0.3", r.AVF())
+	}
+}

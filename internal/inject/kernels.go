@@ -1,0 +1,108 @@
+package inject
+
+// Canned kernels, in the spirit of the benchmarks the AVF studies the
+// paper cites inject into: a streaming vector add, a reduction, and a
+// blocked matrix multiply. Each builds its own input data and leaves its
+// result in memory, so the final memory image is the output signature.
+
+// VecAdd builds c[i] = a[i] + b[i] over n elements.
+// Memory layout: [a(n) | b(n) | c(n)].
+func VecAdd(n int) *Kernel {
+	mem := make([]int64, 3*n)
+	for i := 0; i < n; i++ {
+		mem[i] = int64(i*7 + 3)
+		mem[n+i] = int64(i*13 + 1)
+	}
+	// r0 = i, r1 = n (counts down via comparison), r2/r3 = operands,
+	// r4 = sum, r5 = remaining iterations.
+	prog := []Instr{
+		{Op: OpAddI, Dst: 0, A: 7, Imm: 0},        // 0: i = 0          (r7 is always 0)
+		{Op: OpAddI, Dst: 5, A: 7, Imm: int64(n)}, // 1: remaining = n
+		{Op: OpJumpNZ, A: 5, Target: 3},           // 2: if remaining != 0 goto body
+		{Op: OpHalt},                              // (unreachable for n>0; guard)
+		// body:
+		{Op: OpLoad, Dst: 2, A: 0, Imm: 0},        // 4: r2 = a[i]
+		{Op: OpLoad, Dst: 3, A: 0, Imm: int64(n)}, // 5: r3 = b[i]
+		{Op: OpAdd, Dst: 4, A: 2, B: 3},           // 6: r4 = r2 + r3
+		{Op: OpStore, A: 0, B: 4, Imm: int64(2 * n)},
+		{Op: OpAddI, Dst: 0, A: 0, Imm: 1},  // i++
+		{Op: OpAddI, Dst: 5, A: 5, Imm: -1}, // remaining--
+		{Op: OpJumpNZ, A: 5, Target: 4},     // loop
+		{Op: OpHalt},
+	}
+	// Fix the body offset: instruction 3 above was a placeholder; jump
+	// target in instruction 2 must be the body start (index 4).
+	prog[2].Target = 4
+	return &Kernel{Name: "vecadd", Prog: prog, Mem: mem, Regs: 8, MaxSteps: 64 * n}
+}
+
+// Reduce builds sum = Σ a[i], storing the result at mem[n].
+// Memory layout: [a(n) | sum].
+func Reduce(n int) *Kernel {
+	mem := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		mem[i] = int64(i*11 + 5)
+	}
+	prog := []Instr{
+		{Op: OpAddI, Dst: 0, A: 7, Imm: 0},        // i = 0
+		{Op: OpAddI, Dst: 4, A: 7, Imm: 0},        // acc = 0
+		{Op: OpAddI, Dst: 5, A: 7, Imm: int64(n)}, // remaining = n
+		// body:
+		{Op: OpLoad, Dst: 2, A: 0, Imm: 0},
+		{Op: OpAdd, Dst: 4, A: 4, B: 2},
+		{Op: OpAddI, Dst: 0, A: 0, Imm: 1},
+		{Op: OpAddI, Dst: 5, A: 5, Imm: -1},
+		{Op: OpJumpNZ, A: 5, Target: 3},
+		{Op: OpStore, A: 7, B: 4, Imm: int64(n)}, // mem[n] = acc
+		{Op: OpHalt},
+	}
+	return &Kernel{Name: "reduce", Prog: prog, Mem: mem, Regs: 8, MaxSteps: 64 * n}
+}
+
+// MatMul builds C = A × B for d×d matrices.
+// Memory layout: [A(d*d) | B(d*d) | C(d*d)].
+func MatMul(d int) *Kernel {
+	mem := make([]int64, 3*d*d)
+	for i := 0; i < d*d; i++ {
+		mem[i] = int64(i%7 + 1)
+		mem[d*d+i] = int64(i%5 + 2)
+	}
+	// Registers: r0=i, r1=j, r2=k, r3=acc, r4/r5 = scratch operands,
+	// r6 = address scratch, r8 = i-remaining, r9 = j-remaining,
+	// r10 = k-remaining, r11 = i*d, r12 = k*d, r7 = always zero.
+	dd := int64(d)
+	prog := []Instr{
+		{Op: OpAddI, Dst: 0, A: 7, Imm: 0},  // 0: i = 0
+		{Op: OpAddI, Dst: 8, A: 7, Imm: dd}, // 1: irem = d
+		// iloop:
+		{Op: OpAddI, Dst: 1, A: 7, Imm: 0},  // 2: j = 0
+		{Op: OpAddI, Dst: 9, A: 7, Imm: dd}, // 3: jrem = d
+		// jloop:
+		{Op: OpAddI, Dst: 2, A: 7, Imm: 0},   // 4: k = 0
+		{Op: OpAddI, Dst: 10, A: 7, Imm: dd}, // 5: krem = d
+		{Op: OpAddI, Dst: 3, A: 7, Imm: 0},   // 6: acc = 0
+		{Op: OpAddI, Dst: 13, A: 7, Imm: dd}, // 7: r13 = d (multiplier)
+		{Op: OpMul, Dst: 11, A: 0, B: 13},    // 8: r11 = i*d
+		// kloop:
+		{Op: OpAdd, Dst: 6, A: 11, B: 2},                 // 9: r6 = i*d + k
+		{Op: OpLoad, Dst: 4, A: 6, Imm: 0},               // 10: r4 = A[i*d+k]
+		{Op: OpMul, Dst: 12, A: 2, B: 13},                // 11: r12 = k*d
+		{Op: OpAdd, Dst: 6, A: 12, B: 1},                 // 12: r6 = k*d + j
+		{Op: OpLoad, Dst: 5, A: 6, Imm: int64(d * d)},    // 13: r5 = B[k*d+j]
+		{Op: OpMul, Dst: 4, A: 4, B: 5},                  // 14: r4 = r4*r5
+		{Op: OpAdd, Dst: 3, A: 3, B: 4},                  // 15: acc += r4
+		{Op: OpAddI, Dst: 2, A: 2, Imm: 1},               // 16: k++
+		{Op: OpAddI, Dst: 10, A: 10, Imm: -1},            // 17: krem--
+		{Op: OpJumpNZ, A: 10, Target: 9},                 // 18
+		{Op: OpAdd, Dst: 6, A: 11, B: 1},                 // 19: r6 = i*d + j
+		{Op: OpStore, A: 6, B: 3, Imm: int64(2 * d * d)}, // 20: C[i*d+j] = acc
+		{Op: OpAddI, Dst: 1, A: 1, Imm: 1},               // 21: j++
+		{Op: OpAddI, Dst: 9, A: 9, Imm: -1},              // 22: jrem--
+		{Op: OpJumpNZ, A: 9, Target: 4},                  // 23
+		{Op: OpAddI, Dst: 0, A: 0, Imm: 1},               // 24: i++
+		{Op: OpAddI, Dst: 8, A: 8, Imm: -1},              // 25: irem--
+		{Op: OpJumpNZ, A: 8, Target: 2},                  // 26
+		{Op: OpHalt},                                     // 27
+	}
+	return &Kernel{Name: "matmul", Prog: prog, Mem: mem, Regs: 16, MaxSteps: 128 * d * d * d}
+}

@@ -1,0 +1,183 @@
+// Package inject is a soft-error fault-injection harness in the style of
+// GPU-Qin and the AVF studies the paper cites ([9], [10], [29]). The
+// paper's Section 2.1 notes that while the big memory structures of the
+// K20X are SECDED protected, "logic, queues, the thread block scheduler,
+// warp scheduler, instruction dispatch unit, and interconnect network are
+// not ECC protected", leaving a window for soft errors to cause crashes
+// or silent data corruption (SDC) that the ECC machinery never sees.
+//
+// The harness runs small deterministic kernels on a register-machine VM,
+// flips one bit per experiment in a chosen structure at a chosen dynamic
+// instruction, and classifies the outcome:
+//
+//	Masked        output identical to the golden run
+//	Corrected     the flip landed in a SECDED-protected structure and
+//	              was repaired (counted like Titan's SBEs)
+//	DetectedCrash a protected structure took an uncorrectable flip; the
+//	              run is terminated (Titan's DBE behaviour)
+//	SDC           run completed with wrong output
+//	Crash         invalid execution (bad address, bad jump)
+//	Hang          the run exceeded its step budget
+//
+// Campaigns over many random injections estimate per-structure
+// architectural vulnerability factors (AVF).
+package inject
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpCode is a VM instruction opcode.
+type OpCode int
+
+const (
+	OpAdd    OpCode = iota // dst = a + b
+	OpMul                  // dst = a * b
+	OpXor                  // dst = a ^ b
+	OpAddI                 // dst = a + imm
+	OpLoad                 // dst = mem[a + imm]
+	OpStore                // mem[a + imm] = b
+	OpJumpNZ               // if a != 0 jump to target
+	OpHalt                 // stop
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpXor:
+		return "xor"
+	case OpAddI:
+		return "addi"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpJumpNZ:
+		return "jnz"
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op     OpCode
+	Dst    int   // destination register
+	A, B   int   // source registers
+	Imm    int64 // immediate for OpAddI/OpLoad/OpStore offsets
+	Target int   // jump target for OpJumpNZ
+}
+
+// Kernel is a program plus its initial memory image.
+type Kernel struct {
+	Name string
+	Prog []Instr
+	// Mem is the initial device-memory image; the output is the final
+	// memory contents.
+	Mem []int64
+	// Regs is the register-file size.
+	Regs int
+	// MaxSteps bounds execution (hang detection).
+	MaxSteps int
+}
+
+// Execution errors.
+var (
+	ErrBadAddress = errors.New("inject: memory access out of bounds")
+	ErrBadJump    = errors.New("inject: jump target out of program")
+	ErrHang       = errors.New("inject: step budget exhausted")
+	ErrBadReg     = errors.New("inject: register index out of range")
+)
+
+// vmState is the mutable architectural state during a run.
+type vmState struct {
+	regs []int64
+	mem  []int64
+	pc   int
+}
+
+// hook is called before each dynamic instruction with the step index;
+// it may mutate the state (the injector).
+type hook func(step int, st *vmState, instr *Instr)
+
+// run executes the kernel, invoking h (if non-nil) before every dynamic
+// instruction. It returns the final memory image.
+func (k *Kernel) run(h hook) ([]int64, error) {
+	st := &vmState{
+		regs: make([]int64, k.Regs),
+		mem:  append([]int64(nil), k.Mem...),
+	}
+	maxSteps := k.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	for step := 0; ; step++ {
+		if step >= maxSteps {
+			return nil, ErrHang
+		}
+		if st.pc < 0 || st.pc >= len(k.Prog) {
+			return nil, ErrBadJump
+		}
+		instr := k.Prog[st.pc] // copy: the hook may corrupt the dynamic instance
+		if h != nil {
+			h(step, st, &instr)
+		}
+		if bad(instr.Dst, k.Regs) || bad(instr.A, k.Regs) || bad(instr.B, k.Regs) {
+			return nil, ErrBadReg
+		}
+		switch instr.Op {
+		case OpAdd:
+			st.regs[instr.Dst] = st.regs[instr.A] + st.regs[instr.B]
+		case OpMul:
+			st.regs[instr.Dst] = st.regs[instr.A] * st.regs[instr.B]
+		case OpXor:
+			st.regs[instr.Dst] = st.regs[instr.A] ^ st.regs[instr.B]
+		case OpAddI:
+			st.regs[instr.Dst] = st.regs[instr.A] + instr.Imm
+		case OpLoad:
+			addr := st.regs[instr.A] + instr.Imm
+			if addr < 0 || addr >= int64(len(st.mem)) {
+				return nil, ErrBadAddress
+			}
+			st.regs[instr.Dst] = st.mem[addr]
+		case OpStore:
+			addr := st.regs[instr.A] + instr.Imm
+			if addr < 0 || addr >= int64(len(st.mem)) {
+				return nil, ErrBadAddress
+			}
+			st.mem[addr] = st.regs[instr.B]
+		case OpJumpNZ:
+			if st.regs[instr.A] != 0 {
+				st.pc = instr.Target
+				continue
+			}
+		case OpHalt:
+			return st.mem, nil
+		default:
+			return nil, fmt.Errorf("inject: unknown opcode %d", int(instr.Op))
+		}
+		st.pc++
+	}
+}
+
+func bad(r, n int) bool { return r < 0 || r >= n }
+
+// Golden runs the kernel without injection.
+func (k *Kernel) Golden() ([]int64, error) { return k.run(nil) }
+
+// DynamicLength returns the number of dynamic instructions the golden run
+// executes (the cycle space injections sample from).
+func (k *Kernel) DynamicLength() (int, error) {
+	n := 0
+	_, err := k.run(func(int, *vmState, *Instr) { n++ })
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

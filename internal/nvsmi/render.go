@@ -1,0 +1,58 @@
+package nvsmi
+
+import (
+	"fmt"
+	"io"
+
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+)
+
+// RenderDevice prints one card's state in the style of `nvidia-smi -q`'s
+// ECC sections — the view an operator gets when logging into a node to
+// inspect a suspicious GPU.
+func RenderDevice(w io.Writer, d Device) {
+	loc := topology.LocationOf(d.Node)
+	fmt.Fprintf(w, "==============NVSMI LOG==============\n")
+	fmt.Fprintf(w, "Attached GPUs                       : 1\n")
+	fmt.Fprintf(w, "GPU %s (node %s, cage %d)\n", d.Serial, loc.CName(), loc.Cage)
+	fmt.Fprintf(w, "    Product Name                    : Tesla K20X\n")
+	fmt.Fprintf(w, "    Temperature\n")
+	fmt.Fprintf(w, "        GPU Current Temp            : %.0f F\n", d.TempF)
+	fmt.Fprintf(w, "    Retired Pages\n")
+	fmt.Fprintf(w, "        Pending / Retired           : %d\n", d.RetiredPages)
+	fmt.Fprintf(w, "    ECC Errors\n")
+	renderCounts(w, "Single Bit", d.Counts.SingleBit)
+	renderCounts(w, "Double Bit", d.Counts.DoubleBit)
+}
+
+func renderCounts(w io.Writer, label string, counts [gpu.NumStructures]int64) {
+	fmt.Fprintf(w, "        Aggregate %s\n", label)
+	names := map[gpu.Structure]string{
+		gpu.DeviceMemory:  "Device Memory",
+		gpu.RegisterFile:  "Register File",
+		gpu.L1Shared:      "L1 Cache / Shared",
+		gpu.L2Cache:       "L2 Cache",
+		gpu.ReadOnlyData:  "Read-Only Cache",
+		gpu.TextureMemory: "Texture Memory",
+	}
+	var total int64
+	for _, s := range []gpu.Structure{
+		gpu.DeviceMemory, gpu.RegisterFile, gpu.L1Shared,
+		gpu.L2Cache, gpu.ReadOnlyData, gpu.TextureMemory,
+	} {
+		fmt.Fprintf(w, "            %-28s: %d\n", names[s], counts[s])
+		total += counts[s]
+	}
+	fmt.Fprintf(w, "            %-28s: %d\n", "Total", total)
+}
+
+// FindDevice returns the snapshot entry for a node, if present.
+func (s Snapshot) FindDevice(n topology.NodeID) (Device, bool) {
+	for _, d := range s.Devices {
+		if d.Node == n {
+			return d, true
+		}
+	}
+	return Device{}, false
+}

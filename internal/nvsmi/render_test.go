@@ -1,0 +1,49 @@
+package nvsmi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+)
+
+func TestRenderDevice(t *testing.T) {
+	fleet := gpu.NewFleet(0)
+	fleet.EnableRetirement()
+	c := fleet.CardAt(0)
+	c.RecordSBE(gpu.L2Cache, 0)
+	c.RecordSBE(gpu.DeviceMemory, 7)
+	c.RecordSBE(gpu.DeviceMemory, 7) // retire page 7
+	c.RecordDBE(gpu.RegisterFile, -1, true)
+
+	snap := Take(time.Now(), fleet)
+	d, ok := snap.FindDevice(0)
+	if !ok {
+		t.Fatal("device 0 missing")
+	}
+	var sb strings.Builder
+	RenderDevice(&sb, d)
+	out := sb.String()
+	for _, want := range []string{
+		"Tesla K20X", "c0-0c0s0n0", "Retired", ": 1",
+		"Aggregate Single Bit", "Aggregate Double Bit",
+		"L2 Cache", "Register File", "Device Memory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Totals: 3 single-bit, 1 double-bit.
+	if !strings.Contains(out, "Total                       : 3") {
+		t.Errorf("single-bit total missing:\n%s", out)
+	}
+}
+
+func TestFindDeviceMissing(t *testing.T) {
+	var snap Snapshot
+	if _, ok := snap.FindDevice(topology.NodeID(5)); ok {
+		t.Error("empty snapshot should find nothing")
+	}
+}

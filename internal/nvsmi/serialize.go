@@ -1,0 +1,203 @@
+package nvsmi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+)
+
+// Snapshot and sample serialization: tab-separated, one device or job per
+// line, mirroring the flat files the study's collection framework kept.
+
+var structCols = []gpu.Structure{
+	gpu.DeviceMemory, gpu.L2Cache, gpu.RegisterFile,
+	gpu.L1Shared, gpu.ReadOnlyData, gpu.TextureMemory,
+}
+
+// WriteSnapshot serializes a machine sweep.
+func WriteSnapshot(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#nvidia-smi sweep %s\n", s.Time.UTC().Format(time.RFC3339))
+	fmt.Fprintln(bw, "#cname\tserial\tretired_pages\ttemp_f\tsbe_by_structure\tdbe_by_structure")
+	for _, d := range s.Devices {
+		sbe := make([]string, len(structCols))
+		dbe := make([]string, len(structCols))
+		for i, st := range structCols {
+			sbe[i] = strconv.FormatInt(d.Counts.SingleBit[st], 10)
+			dbe[i] = strconv.FormatInt(d.Counts.DoubleBit[st], 10)
+		}
+		_, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%.1f\t%s\t%s\n",
+			topology.LocationOf(d.Node).CName(), uint32(d.Serial), d.RetiredPages, d.TempF,
+			strings.Join(sbe, ","), strings.Join(dbe, ","))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses the output of WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#nvidia-smi sweep ") {
+			ts, err := time.Parse(time.RFC3339, strings.TrimPrefix(line, "#nvidia-smi sweep "))
+			if err != nil {
+				return snap, fmt.Errorf("nvsmi: line %d: bad sweep time: %w", lineNo, err)
+			}
+			snap.Time = ts
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 {
+			return snap, fmt.Errorf("nvsmi: line %d: %d fields, want 6", lineNo, len(fields))
+		}
+		var d Device
+		node, err := topology.ParseNodeID(fields[0])
+		if err != nil {
+			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
+		}
+		d.Node = node
+		serial, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return snap, fmt.Errorf("nvsmi: line %d: bad serial: %w", lineNo, err)
+		}
+		d.Serial = gpu.Serial(serial)
+		if d.RetiredPages, err = strconv.Atoi(fields[2]); err != nil {
+			return snap, fmt.Errorf("nvsmi: line %d: bad retired pages: %w", lineNo, err)
+		}
+		if d.TempF, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			return snap, fmt.Errorf("nvsmi: line %d: bad temperature: %w", lineNo, err)
+		}
+		if err := parseCountVector(fields[4], &d.Counts, false); err != nil {
+			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
+		}
+		if err := parseCountVector(fields[5], &d.Counts, true); err != nil {
+			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
+		}
+		snap.Devices = append(snap.Devices, d)
+	}
+	if err := sc.Err(); err != nil {
+		return snap, fmt.Errorf("nvsmi: reading snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+func parseCountVector(s string, counts *gpu.ErrorCounts, double bool) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != len(structCols) {
+		return fmt.Errorf("count vector %q has %d entries, want %d", s, len(parts), len(structCols))
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad count %q: %w", p, err)
+		}
+		if double {
+			counts.DoubleBit[structCols[i]] = v
+		} else {
+			counts.SingleBit[structCols[i]] = v
+		}
+	}
+	return nil
+}
+
+// WriteSamples serializes per-job samples.
+func WriteSamples(w io.Writer, samples []JobSample) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#job\tuser\tnodes\tcore_hours\tmax_mem_gb\ttotal_mem_gbh\tsbe\tsbe_by_structure")
+	for _, s := range samples {
+		per := make([]string, len(structCols))
+		for i, st := range structCols {
+			per[i] = strconv.FormatInt(s.PerStructure[st], 10)
+		}
+		_, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%.4f\t%.4f\t%.4f\t%d\t%s\n",
+			s.Job, s.User, s.Nodes, s.CoreHours, s.MaxMemGB, s.TotalMGBh, s.SBEDelta,
+			strings.Join(per, ","))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSamples parses the output of WriteSamples. UsedNodes is not part of
+// the flat format (the job log carries allocations) and is left nil.
+func ReadSamples(r io.Reader) ([]JobSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []JobSample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("nvsmi: samples line %d: %d fields, want 8", lineNo, len(fields))
+		}
+		var s JobSample
+		job, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad job: %w", lineNo, err)
+		}
+		s.Job = console.JobID(job)
+		user, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad user: %w", lineNo, err)
+		}
+		s.User = workload.UserID(user)
+		if s.Nodes, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad nodes: %w", lineNo, err)
+		}
+		if s.CoreHours, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad core hours: %w", lineNo, err)
+		}
+		if s.MaxMemGB, err = strconv.ParseFloat(fields[4], 64); err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad max mem: %w", lineNo, err)
+		}
+		if s.TotalMGBh, err = strconv.ParseFloat(fields[5], 64); err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad total mem: %w", lineNo, err)
+		}
+		if s.SBEDelta, err = strconv.ParseInt(fields[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("nvsmi: samples line %d: bad sbe: %w", lineNo, err)
+		}
+		parts := strings.Split(fields[7], ",")
+		if len(parts) != len(structCols) {
+			return nil, fmt.Errorf("nvsmi: samples line %d: structure vector has %d entries", lineNo, len(parts))
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("nvsmi: samples line %d: bad structure count: %w", lineNo, err)
+			}
+			s.PerStructure[structCols[i]] = v
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nvsmi: reading samples: %w", err)
+	}
+	return out, nil
+}

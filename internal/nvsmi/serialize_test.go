@@ -1,0 +1,108 @@
+package nvsmi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"titanre/internal/gpu"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	fleet := gpu.NewFleet(0)
+	fleet.EnableRetirement()
+	fleet.CardAt(5).RecordSBE(gpu.L2Cache, 0)
+	fleet.CardAt(5).RecordSBE(gpu.DeviceMemory, 3)
+	fleet.CardAt(5).RecordSBE(gpu.DeviceMemory, 3) // retires page 3
+	fleet.CardAt(9).RecordDBE(gpu.RegisterFile, -1, true)
+	now := time.Date(2015, 2, 28, 23, 0, 0, 0, time.UTC)
+	snap := Take(now, fleet)
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Time.Equal(now) {
+		t.Errorf("time = %v", back.Time)
+	}
+	if len(back.Devices) != len(snap.Devices) {
+		t.Fatalf("device count %d vs %d", len(back.Devices), len(snap.Devices))
+	}
+	if back.TotalSBE() != snap.TotalSBE() || back.TotalDBE() != snap.TotalDBE() {
+		t.Error("totals changed in round trip")
+	}
+	if back.Devices[5].RetiredPages != 1 {
+		t.Errorf("retired pages = %d", back.Devices[5].RetiredPages)
+	}
+	if back.Devices[5].Counts.SingleBit[gpu.L2Cache] != 1 {
+		t.Error("per-structure counts lost")
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	bad := []string{
+		"c0-0c0s0n0\t1\t0\t86.0\t0,0,0,0,0\t0,0,0,0,0,0",     // short vector
+		"c0-0c0s0n0\t1\t0\t86.0\t0,0,0,0,0,x\t0,0,0,0,0,0",   // bad count
+		"nonsense\t1\t0\t86.0\t0,0,0,0,0,0\t0,0,0,0,0,0",     // bad cname
+		"c0-0c0s0n0\t1\tx\t86.0\t0,0,0,0,0,0\t0,0,0,0,0,0",   // bad pages
+		"c0-0c0s0n0\t1\t0\thot\t0,0,0,0,0,0\t0,0,0,0,0,0",    // bad temp
+		"c0-0c0s0n0\t1\t0\t86.0\t0,0,0,0,0,0",                // missing field
+		"#nvidia-smi sweep not-a-time",                       // bad sweep time
+		"c0-0c0s0n0\tbig\t0\t86.0\t0,0,0,0,0,0\t0,0,0,0,0,0", // bad serial
+	}
+	for _, line := range bad {
+		if _, err := ReadSnapshot(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted malformed snapshot line %q", line)
+		}
+	}
+}
+
+func TestSamplesRoundTrip(t *testing.T) {
+	samples := []JobSample{
+		{Job: 7, User: 3, Nodes: 128, CoreHours: 256.5, MaxMemGB: 4.25, TotalMGBh: 12.5, SBEDelta: 9},
+		{Job: 8, User: 4, Nodes: 1, CoreHours: 0.25, MaxMemGB: 1, TotalMGBh: 0.2, SBEDelta: 0},
+	}
+	samples[0].PerStructure[gpu.L2Cache] = 6
+	samples[0].PerStructure[gpu.DeviceMemory] = 3
+
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d samples", len(back))
+	}
+	a := back[0]
+	if a.Job != 7 || a.User != 3 || a.Nodes != 128 || a.SBEDelta != 9 {
+		t.Errorf("sample = %+v", a)
+	}
+	if a.PerStructure[gpu.L2Cache] != 6 || a.PerStructure[gpu.DeviceMemory] != 3 {
+		t.Error("per-structure lost")
+	}
+	if a.CoreHours != 256.5 || a.MaxMemGB != 4.25 || a.TotalMGBh != 12.5 {
+		t.Error("metrics lost")
+	}
+}
+
+func TestReadSamplesErrors(t *testing.T) {
+	bad := []string{
+		"x\t3\t128\t1.0\t1.0\t1.0\t0\t0,0,0,0,0,0",
+		"7\t3\t128\t1.0\t1.0\t1.0\t0\t0,0,0",
+		"7\t3\t128\t1.0\t1.0\t1.0\tx\t0,0,0,0,0,0",
+		"7\t3\t128\t1.0\t1.0\t1.0\t0",
+	}
+	for _, line := range bad {
+		if _, err := ReadSamples(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted malformed sample line %q", line)
+		}
+	}
+}

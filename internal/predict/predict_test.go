@@ -1,0 +1,192 @@
+package predict
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+var t0 = time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func ev(minutes float64, code xid.Code, node topology.NodeID) console.Event {
+	return console.Event{
+		Time: t0.Add(time.Duration(minutes * float64(time.Minute))),
+		Code: code, Node: node, Page: console.NoPage,
+	}
+}
+
+// stream builds a synthetic log where code 13 is followed by code 43 on
+// the same node with the given probability after ~2 minutes.
+func stream(rng *rand.Rand, n int, followProb float64) []console.Event {
+	var out []console.Event
+	minutes := 0.0
+	for i := 0; i < n; i++ {
+		minutes += 30
+		node := topology.NodeID(rng.Intn(1000))
+		out = append(out, ev(minutes, 13, node))
+		if rng.Float64() < followProb {
+			out = append(out, ev(minutes+2, 43, node))
+		}
+	}
+	return out
+}
+
+func testConfig() Config {
+	return Config{
+		Targets:       []xid.Code{43},
+		LeadWindow:    10 * time.Minute,
+		MinSupport:    10,
+		MinConfidence: 0.25,
+	}
+}
+
+func TestTrainLearnsRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	events := stream(rng, 500, 0.6)
+	m := Train(events, testConfig())
+	rules := m.Rules()
+	if len(rules) != 1 {
+		t.Fatalf("learned %d rules, want 1: %v", len(rules), rules)
+	}
+	r := rules[0]
+	if r.Precursor != 13 || r.Target != 43 {
+		t.Errorf("rule = %v", r)
+	}
+	if r.Confidence < 0.5 || r.Confidence > 0.7 {
+		t.Errorf("confidence = %v, want ~0.6", r.Confidence)
+	}
+	if r.MeanLead < time.Minute || r.MeanLead > 4*time.Minute {
+		t.Errorf("mean lead = %v, want ~2 min", r.MeanLead)
+	}
+	if !m.Warns(13) || m.Warns(31) {
+		t.Error("warning predicate wrong")
+	}
+}
+
+func TestTrainRespectsThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Below min support.
+	m := Train(stream(rng, 5, 1.0), testConfig())
+	if len(m.Rules()) != 0 {
+		t.Error("low-support rule should be rejected")
+	}
+	// Below min confidence.
+	m = Train(stream(rng, 500, 0.05), testConfig())
+	if len(m.Rules()) != 0 {
+		t.Error("low-confidence rule should be rejected")
+	}
+}
+
+func TestIsolatedTargetHasNoPrecursor(t *testing.T) {
+	// DBEs dropped at random nodes/times have no precursors; the model
+	// must learn nothing when targeting them.
+	rng := rand.New(rand.NewSource(3))
+	var events []console.Event
+	minutes := 0.0
+	for i := 0; i < 300; i++ {
+		minutes += 45
+		events = append(events, ev(minutes, 44, topology.NodeID(rng.Intn(1000))))
+		minutes += 45
+		events = append(events, ev(minutes, 48, topology.NodeID(rng.Intn(1000))))
+	}
+	cfg := testConfig()
+	cfg.Targets = []xid.Code{48}
+	m := Train(events, cfg)
+	if len(m.Rules()) != 0 {
+		t.Errorf("learned phantom rules for isolated DBEs: %v", m.Rules())
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	all := stream(rng, 2000, 0.6)
+	train, test := SplitByTime(all, 0.5)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("split failed")
+	}
+	m := Train(train, testConfig())
+	evl := m.Evaluate(test)
+	if evl.Warnings == 0 || evl.TargetEvents == 0 {
+		t.Fatalf("degenerate evaluation: %+v", evl)
+	}
+	// Warnings fire on every 13; 60% are followed by 43.
+	if p := evl.Precision(); p < 0.45 || p > 0.75 {
+		t.Errorf("precision = %v, want ~0.6", p)
+	}
+	// Every 43 is preceded by a 13 here.
+	if r := evl.Recall(); r < 0.95 {
+		t.Errorf("recall = %v, want ~1", r)
+	}
+	if evl.MeanLead < time.Minute || evl.MeanLead > 4*time.Minute {
+		t.Errorf("mean lead = %v", evl.MeanLead)
+	}
+}
+
+func TestEvaluateNoWarningsOnUnknownCodes(t *testing.T) {
+	m := Train(nil, testConfig())
+	evl := m.Evaluate([]console.Event{ev(0, 13, 1), ev(1, 43, 1)})
+	if evl.Warnings != 0 {
+		t.Error("untrained model must not warn")
+	}
+	if evl.TargetEvents != 1 || evl.Covered != 0 {
+		t.Errorf("target accounting wrong: %+v", evl)
+	}
+	if evl.Precision() != 0 || evl.Recall() != 0 {
+		t.Error("degenerate rates should be 0")
+	}
+}
+
+func TestCrossNodeDoesNotCount(t *testing.T) {
+	// Precursor on node 1, target on node 2: no rule.
+	var events []console.Event
+	for i := 0; i < 100; i++ {
+		events = append(events, ev(float64(i*30), 13, 1))
+		events = append(events, ev(float64(i*30)+2, 43, 2))
+	}
+	m := Train(events, testConfig())
+	if len(m.Rules()) != 0 {
+		t.Errorf("cross-node rule learned: %v", m.Rules())
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	// Target arrives 30 minutes after the precursor: outside the
+	// ten-minute lead window.
+	var events []console.Event
+	for i := 0; i < 100; i++ {
+		base := float64(i * 120)
+		events = append(events, ev(base, 13, 5))
+		events = append(events, ev(base+30, 43, 5))
+	}
+	m := Train(events, testConfig())
+	if len(m.Rules()) != 0 {
+		t.Errorf("expired-window rule learned: %v", m.Rules())
+	}
+}
+
+func TestSplitByTime(t *testing.T) {
+	events := []console.Event{ev(0, 13, 1), ev(10, 13, 2), ev(20, 13, 3), ev(30, 13, 4)}
+	train, test := SplitByTime(events, 0.5)
+	if len(train) != 2 || len(test) != 2 {
+		t.Errorf("split = %d/%d", len(train), len(test))
+	}
+	tr, te := SplitByTime(nil, 0.5)
+	if tr != nil || te != nil {
+		t.Error("empty split should be nil")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Precursor: 13, Target: 43, Confidence: 0.55, Support: 100, MeanLead: 90 * time.Second}
+	s := r.String()
+	for _, want := range []string{"XID 13", "XID 43", "0.55", "100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rule string missing %q: %s", want, s)
+		}
+	}
+}

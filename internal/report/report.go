@@ -1,0 +1,224 @@
+// Package report renders the study's figures and tables as plain text:
+// monthly bar charts, cabinet floor-map heatmaps, cage histograms,
+// co-occurrence matrices, and aligned tables. The benchmark harness and
+// the titanreport command print these, so a reader can put the output
+// next to the paper's figures and compare shapes directly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"titanre/internal/analysis"
+	"titanre/internal/topology"
+)
+
+// glyphs is the intensity ramp used by heatmaps, lightest to darkest.
+var glyphs = []rune{'.', ':', '-', '=', '+', '*', '#', '@'}
+
+// Section prints a titled separator.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}
+
+// MonthlyBars renders a monthly-frequency figure as a horizontal bar
+// chart, one row per month.
+func MonthlyBars(w io.Writer, title string, months []analysis.MonthCount) {
+	Section(w, title)
+	max := 0
+	for _, m := range months {
+		if m.Count > max {
+			max = m.Count
+		}
+	}
+	for _, m := range months {
+		barLen := 0
+		if max > 0 {
+			barLen = m.Count * 50 / max
+		}
+		fmt.Fprintf(w, "%s |%-50s %d\n", m.Label(), strings.Repeat("#", barLen), m.Count)
+	}
+}
+
+// FloorMap renders a cabinet grid (25 rows x 8 columns) as a heatmap.
+func FloorMap(w io.Writer, title string, g analysis.Grid) {
+	Section(w, title)
+	max := g.Max()
+	fmt.Fprintf(w, "      col: 0 1 2 3 4 5 6 7   (total %d, max cabinet %d)\n", g.Total(), max)
+	for r := 0; r < topology.Rows; r++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "row %2d     ", r)
+		for c := 0; c < topology.Columns; c++ {
+			b.WriteRune(glyph(g[r][c], max))
+			b.WriteByte(' ')
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	cols := g.ColumnTotals()
+	fmt.Fprintf(w, "column totals: %v  (alternation score %.2f)\n", cols, g.AlternationScore())
+}
+
+func glyph(v, max int64) rune {
+	if v <= 0 || max <= 0 {
+		return glyphs[0]
+	}
+	idx := int(v * int64(len(glyphs)-1) / max)
+	if v > 0 && idx == 0 {
+		idx = 1
+	}
+	return glyphs[idx]
+}
+
+// CageHistogram renders per-cage counts (bottom to top) with the
+// distinct-card companion series.
+func CageHistogram(w io.Writer, title string, cc analysis.CageCounts) {
+	Section(w, title)
+	names := [...]string{"bottom (coolest)", "middle", "top (hottest)"}
+	var max int64 = 1
+	for _, v := range cc.All {
+		if v > max {
+			max = v
+		}
+	}
+	for cage := 0; cage < topology.CagesPerCabinet; cage++ {
+		bar := int(cc.All[cage] * 40 / max)
+		fmt.Fprintf(w, "cage %d %-17s |%-40s %d (distinct cards: %d)\n",
+			cage, names[cage], strings.Repeat("#", bar), cc.All[cage], cc.Distinct[cage])
+	}
+}
+
+// Heatmap renders a co-occurrence matrix (Fig. 13) with row/column labels.
+func Heatmap(w io.Writer, title string, labels []string, m [][]float64) {
+	Section(w, title)
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%*s  %s\n", width, "prev\\next", strings.Join(shorten(labels), " "))
+	for i, row := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%*s  ", width, labels[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%4.2f ", v)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+func shorten(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		s := strings.TrimPrefix(l, "XID ")
+		if len(s) > 4 {
+			s = s[:4]
+		}
+		out[i] = fmt.Sprintf("%4s", s)
+	}
+	return out
+}
+
+// Sparkline renders a daily-count series as weekly buckets using a block
+// ramp, one line per half-year — compact enough to eyeball burstiness the
+// way Fig. 10 does.
+func Sparkline(w io.Writer, title string, daily []int) {
+	Section(w, title)
+	if len(daily) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Weekly buckets.
+	var weeks []int
+	for i := 0; i < len(daily); i += 7 {
+		sum := 0
+		for j := i; j < i+7 && j < len(daily); j++ {
+			sum += daily[j]
+		}
+		weeks = append(weeks, sum)
+	}
+	max := 0
+	for _, v := range weeks {
+		if v > max {
+			max = v
+		}
+	}
+	ramp := []rune(" .:-=+*#@")
+	const perLine = 26 // half a year of weeks
+	for i := 0; i < len(weeks); i += perLine {
+		var b strings.Builder
+		fmt.Fprintf(&b, "week %3d |", i)
+		for j := i; j < i+perLine && j < len(weeks); j++ {
+			idx := 0
+			if max > 0 {
+				idx = weeks[j] * (len(ramp) - 1) / max
+				if weeks[j] > 0 && idx == 0 {
+					idx = 1
+				}
+			}
+			b.WriteRune(ramp[idx])
+		}
+		b.WriteString("|")
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintf(w, "weekly max %d\n", max)
+}
+
+// Table renders rows under aligned headers.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	Section(w, title)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	fmt.Fprintln(w, line(headers))
+	fmt.Fprintln(w, strings.Repeat("-", len(line(headers))))
+	for _, row := range rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// Correlations renders the Figs. 16-19 result rows.
+func Correlations(w io.Writer, title string, ucs []analysis.UtilizationCorrelation) {
+	rows := make([][]string, 0, len(ucs))
+	for _, uc := range ucs {
+		rows = append(rows, []string{
+			uc.Metric.String(),
+			fmt.Sprintf("%.2f", uc.AllSpearman.Coefficient),
+			fmt.Sprintf("%.2f", uc.AllPearson.Coefficient),
+			fmt.Sprintf("%.2f", uc.ExclSpearman.Coefficient),
+			fmt.Sprintf("%.2f", uc.ExclPearson.Coefficient),
+			fmt.Sprintf("%d/%d", uc.JobsExcl, uc.JobsAll),
+		})
+	}
+	Table(w, title,
+		[]string{"metric", "spearman", "pearson", "spearman(excl top10)", "pearson(excl top10)", "jobs excl/all"},
+		rows)
+}
+
+// DelayHistogram renders the Fig. 8 retirement-timing result.
+func DelayHistogram(w io.Writer, title string, rt analysis.RetirementTiming) {
+	Section(w, title)
+	fmt.Fprintf(w, "retirements <= 10 min after a DBE : %d\n", rt.Within10Min)
+	fmt.Fprintf(w, "retirements 10 min - 6 h after    : %d\n", rt.TenMinTo6h)
+	fmt.Fprintf(w, "retirements > 6 h after           : %d (likely two-SBE retirements)\n", rt.Beyond6h)
+	fmt.Fprintf(w, "retirements with no prior DBE     : %d\n", rt.NoPrecedingDBE)
+	fmt.Fprintf(w, "DBE pairs without retirement      : %d\n", rt.DBEPairsWithoutRetirement)
+}

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"titanre/internal/analysis"
+	"titanre/internal/topology"
+)
+
+func TestMonthlyBars(t *testing.T) {
+	var sb strings.Builder
+	months := []analysis.MonthCount{
+		{Year: 2013, Month: 6, Count: 4},
+		{Year: 2013, Month: 7, Count: 0},
+		{Year: 2013, Month: 8, Count: 8},
+	}
+	MonthlyBars(&sb, "test figure", months)
+	out := sb.String()
+	if !strings.Contains(out, "== test figure ==") {
+		t.Error("missing section title")
+	}
+	if !strings.Contains(out, "2013-06") || !strings.Contains(out, "2013-08") {
+		t.Error("missing month labels")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Bar for count 8 must be twice the bar for count 4.
+	var bar4, bar8 int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "2013-06") {
+			bar4 = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(l, "2013-08") {
+			bar8 = strings.Count(l, "#")
+		}
+	}
+	if bar8 != 2*bar4 || bar4 == 0 {
+		t.Errorf("bars not proportional: %d vs %d", bar4, bar8)
+	}
+}
+
+func TestMonthlyBarsEmpty(t *testing.T) {
+	var sb strings.Builder
+	MonthlyBars(&sb, "empty", []analysis.MonthCount{{Year: 2013, Month: 6}})
+	if !strings.Contains(sb.String(), "2013-06") {
+		t.Error("zero-count month missing")
+	}
+}
+
+func TestFloorMap(t *testing.T) {
+	var g analysis.Grid
+	g[0][0] = 10
+	g[24][7] = 5
+	var sb strings.Builder
+	FloorMap(&sb, "map", g)
+	out := sb.String()
+	if !strings.Contains(out, "row  0") || !strings.Contains(out, "row 24") {
+		t.Error("rows missing")
+	}
+	if !strings.Contains(out, "total 15") {
+		t.Error("total missing")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("max cell should use the darkest glyph")
+	}
+	if !strings.Contains(out, "alternation score") {
+		t.Error("column totals footer missing")
+	}
+}
+
+func TestGlyphRamp(t *testing.T) {
+	if glyph(0, 10) != '.' {
+		t.Error("zero must be lightest")
+	}
+	if glyph(10, 10) != '@' {
+		t.Error("max must be darkest")
+	}
+	if glyph(1, 1000) == '.' {
+		t.Error("nonzero must be distinguishable from zero")
+	}
+	if glyph(5, 0) != '.' {
+		t.Error("zero max must not divide by zero")
+	}
+}
+
+func TestCageHistogram(t *testing.T) {
+	var sb strings.Builder
+	cc := analysis.CageCounts{
+		All:      [topology.CagesPerCabinet]int64{1, 2, 4},
+		Distinct: [topology.CagesPerCabinet]int64{1, 2, 3},
+	}
+	CageHistogram(&sb, "cages", cc)
+	out := sb.String()
+	for _, want := range []string{"bottom (coolest)", "top (hottest)", "distinct cards: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, "hm", []string{"XID 48", "XID 45"}, [][]float64{{0, 0.73}, {0.5, 0}})
+	out := sb.String()
+	if !strings.Contains(out, "0.73") || !strings.Contains(out, "0.50") {
+		t.Errorf("matrix values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "XID 48") {
+		t.Error("row labels missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "tbl", []string{"code", "name"}, [][]string{{"48", "double bit"}, {"13", "gfx"}})
+	out := sb.String()
+	if !strings.Contains(out, "code") || !strings.Contains(out, "double bit") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+	// Header separator present.
+	if !strings.Contains(out, "----") {
+		t.Error("separator missing")
+	}
+}
+
+func TestDelayHistogram(t *testing.T) {
+	var sb strings.Builder
+	DelayHistogram(&sb, "fig8", analysis.RetirementTiming{
+		Within10Min: 18, TenMinTo6h: 1, Beyond6h: 18, DBEPairsWithoutRetirement: 17,
+	})
+	out := sb.String()
+	for _, want := range []string{": 18", ": 1", ": 17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestCorrelations(t *testing.T) {
+	var sb strings.Builder
+	ucs := []analysis.UtilizationCorrelation{{Metric: analysis.CoreHours, JobsAll: 10, JobsExcl: 8}}
+	Correlations(&sb, "corr", ucs)
+	if !strings.Contains(sb.String(), "GPU core hours") || !strings.Contains(sb.String(), "8/10") {
+		t.Errorf("correlation row missing:\n%s", sb.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	var sb strings.Builder
+	daily := make([]int, 100)
+	for i := 42; i < 49; i++ {
+		daily[i] = 10 // one bursty week (days 42-48 = week 6)
+	}
+	Sparkline(&sb, "spark", daily)
+	out := sb.String()
+	if !strings.Contains(out, "week   0") {
+		t.Errorf("missing week header:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Errorf("burst week should hit the darkest glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "weekly max 70") {
+		t.Errorf("weekly max wrong:\n%s", out)
+	}
+	var empty strings.Builder
+	Sparkline(&empty, "none", nil)
+	if !strings.Contains(empty.String(), "no data") {
+		t.Error("empty series should say so")
+	}
+}

@@ -1,0 +1,77 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"titanre/internal/topology"
+)
+
+// TestAllocatorInvariantsProperty drives random allocate/release sequences
+// and checks the allocator's core invariants throughout: no slot is
+// handed out twice, free counts balance, and full release restores full
+// capacity.
+func TestAllocatorInvariantsProperty(t *testing.T) {
+	f := func(seed int64, policyBit bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		policy := TorusFit
+		if policyBit {
+			policy = LinearFit
+		}
+		a := NewAllocator(policy)
+		held := map[topology.NodeID]bool{}
+		var allocations [][]topology.NodeID
+
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) != 0 || len(allocations) == 0 {
+				n := 1 + rng.Intn(2000)
+				nodes := a.Alloc(n)
+				if n > a.FreeCount()+len(nodes) {
+					// Request exceeded capacity: must have failed.
+					if nodes != nil {
+						return false
+					}
+					continue
+				}
+				if nodes == nil {
+					continue // pool exhausted; fine
+				}
+				if len(nodes) != n {
+					return false
+				}
+				for _, nd := range nodes {
+					if held[nd] {
+						return false // double allocation
+					}
+					if int(nd) >= topology.TotalComputeGPUs {
+						return false // service slot leaked
+					}
+					held[nd] = true
+				}
+				allocations = append(allocations, nodes)
+			} else {
+				idx := rng.Intn(len(allocations))
+				nodes := allocations[idx]
+				allocations = append(allocations[:idx], allocations[idx+1:]...)
+				for _, nd := range nodes {
+					if !held[nd] {
+						return false
+					}
+					delete(held, nd)
+				}
+				a.Release(nodes)
+			}
+			if a.FreeCount() != a.Capacity()-len(held) {
+				return false // accounting drift
+			}
+		}
+		for _, nodes := range allocations {
+			a.Release(nodes)
+		}
+		return a.FreeCount() == a.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

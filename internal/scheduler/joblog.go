@@ -1,0 +1,192 @@
+package scheduler
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+)
+
+// Job-log serialization.
+//
+// The batch system's job log is one of the three artifacts the study
+// joins (console log, job log, nvidia-smi samples). The format is a
+// tab-separated line per job; the node list is compressed into dense-ID
+// ranges ("12-19,40,96-103"), which keeps multi-thousand-node capability
+// jobs readable.
+
+const jobLogHeader = "#id\tuser\tclass\tsubmit\tstart\tend\tmaxmem_gb\tavgmem_gb\tbuggy\tnodes"
+
+// WriteJobLog writes records as a TSV job log.
+func WriteJobLog(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, jobLogHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		_, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%s\t%s\t%s\t%.3f\t%.3f\t%t\t%s\n",
+			r.ID, r.Spec.User, r.Spec.Class,
+			r.Spec.Submit.UTC().Format(time.RFC3339),
+			r.Start.UTC().Format(time.RFC3339),
+			r.End.UTC().Format(time.RFC3339),
+			r.Spec.MaxMemPerNodeGB, r.Spec.AvgMemPerNodeGB,
+			r.Spec.Buggy, CompressNodes(r.Nodes))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJobLog parses a TSV job log produced by WriteJobLog.
+func ReadJobLog(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 10 {
+			return nil, fmt.Errorf("scheduler: job log line %d: %d fields, want 10", lineNo, len(fields))
+		}
+		rec, err := parseJobLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: job log line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scheduler: reading job log: %w", err)
+	}
+	return out, nil
+}
+
+func parseJobLine(fields []string) (Record, error) {
+	var rec Record
+	id, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad id: %w", err)
+	}
+	rec.ID = console.JobID(id)
+	user, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad user: %w", err)
+	}
+	rec.Spec.User = workload.UserID(user)
+	rec.Spec.Class, err = parseClass(fields[2])
+	if err != nil {
+		return rec, err
+	}
+	if rec.Spec.Submit, err = time.Parse(time.RFC3339, fields[3]); err != nil {
+		return rec, fmt.Errorf("bad submit: %w", err)
+	}
+	if rec.Start, err = time.Parse(time.RFC3339, fields[4]); err != nil {
+		return rec, fmt.Errorf("bad start: %w", err)
+	}
+	if rec.End, err = time.Parse(time.RFC3339, fields[5]); err != nil {
+		return rec, fmt.Errorf("bad end: %w", err)
+	}
+	if rec.Spec.MaxMemPerNodeGB, err = strconv.ParseFloat(fields[6], 64); err != nil {
+		return rec, fmt.Errorf("bad maxmem: %w", err)
+	}
+	if rec.Spec.AvgMemPerNodeGB, err = strconv.ParseFloat(fields[7], 64); err != nil {
+		return rec, fmt.Errorf("bad avgmem: %w", err)
+	}
+	if rec.Spec.Buggy, err = strconv.ParseBool(fields[8]); err != nil {
+		return rec, fmt.Errorf("bad buggy flag: %w", err)
+	}
+	if rec.Nodes, err = ExpandNodes(fields[9]); err != nil {
+		return rec, err
+	}
+	rec.Spec.Nodes = len(rec.Nodes)
+	rec.Spec.Runtime = rec.End.Sub(rec.Start)
+	return rec, nil
+}
+
+func parseClass(s string) (workload.Class, error) {
+	for c := workload.Capability; c <= workload.Debugger; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown job class %q", s)
+}
+
+// CompressNodes renders a node set as sorted dense-ID ranges.
+func CompressNodes(nodes []topology.NodeID) string {
+	if len(nodes) == 0 {
+		return "-"
+	}
+	ids := make([]int, len(nodes))
+	for i, n := range nodes {
+		ids[i] = int(n)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i := 0; i < len(ids); {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if i == j {
+			fmt.Fprintf(&b, "%d", ids[i])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", ids[i], ids[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ExpandNodes parses the range format produced by CompressNodes.
+func ExpandNodes(s string) ([]topology.NodeID, error) {
+	if s == "-" || s == "" {
+		return nil, nil
+	}
+	var out []topology.NodeID
+	for _, part := range strings.Split(s, ",") {
+		if dash := strings.IndexByte(part, '-'); dash >= 0 {
+			lo, err := strconv.Atoi(part[:dash])
+			if err != nil {
+				return nil, fmt.Errorf("bad node range %q: %w", part, err)
+			}
+			hi, err := strconv.Atoi(part[dash+1:])
+			if err != nil {
+				return nil, fmt.Errorf("bad node range %q: %w", part, err)
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("inverted node range %q", part)
+			}
+			for id := lo; id <= hi; id++ {
+				out = append(out, topology.NodeID(id))
+			}
+		} else {
+			id, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad node id %q: %w", part, err)
+			}
+			out = append(out, topology.NodeID(id))
+		}
+	}
+	for _, n := range out {
+		if !n.Valid() {
+			return nil, fmt.Errorf("node id %d out of range", n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package scheduler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+)
+
+func TestCompressExpandNodes(t *testing.T) {
+	cases := []struct {
+		nodes []topology.NodeID
+		want  string
+	}{
+		{nil, "-"},
+		{[]topology.NodeID{5}, "5"},
+		{[]topology.NodeID{5, 6, 7}, "5-7"},
+		{[]topology.NodeID{7, 5, 6, 40, 96, 97}, "5-7,40,96-97"},
+	}
+	for _, c := range cases {
+		got := CompressNodes(c.nodes)
+		if got != c.want {
+			t.Errorf("CompressNodes(%v) = %q, want %q", c.nodes, got, c.want)
+		}
+		back, err := ExpandNodes(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(c.nodes) {
+			t.Errorf("round trip of %q lost nodes: %v", got, back)
+		}
+	}
+}
+
+func TestExpandNodesErrors(t *testing.T) {
+	for _, s := range []string{"x", "5-x", "x-5", "9-5", "999999"} {
+		if _, err := ExpandNodes(s); err == nil {
+			t.Errorf("ExpandNodes(%q) accepted bad input", s)
+		}
+	}
+	if nodes, err := ExpandNodes(""); err != nil || nodes != nil {
+		t.Error("empty string should expand to nil")
+	}
+}
+
+func TestJobLogRoundTrip(t *testing.T) {
+	t0 := time.Date(2014, 5, 1, 12, 0, 0, 0, time.UTC)
+	jobs := []workload.Job{
+		mkJob(3, t0, 100, 2*time.Hour),
+		mkJob(9, t0.Add(time.Minute), 5, 30*time.Minute),
+	}
+	jobs[0].Class = workload.MemoryHog
+	jobs[0].Buggy = true
+	jobs[0].MaxMemPerNodeGB = 5.25
+	jobs[0].AvgMemPerNodeGB = 4.5
+	records := Schedule(jobs, TorusFit)
+
+	var buf bytes.Buffer
+	if err := WriteJobLog(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJobLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("read %d records, want %d", len(back), len(records))
+	}
+	for i := range records {
+		a, b := records[i], back[i]
+		if a.ID != b.ID || a.Spec.User != b.Spec.User || a.Spec.Class != b.Spec.Class ||
+			!a.Start.Equal(b.Start) || !a.End.Equal(b.End) ||
+			a.Spec.Buggy != b.Spec.Buggy ||
+			a.Spec.MaxMemPerNodeGB != b.Spec.MaxMemPerNodeGB {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, b, a)
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			t.Fatalf("record %d node count mismatch", i)
+		}
+		for j := range b.Nodes {
+			// ReadJobLog returns nodes sorted by dense ID.
+			if j > 0 && b.Nodes[j] <= b.Nodes[j-1] {
+				t.Fatal("read nodes not sorted")
+			}
+		}
+	}
+}
+
+func TestReadJobLogErrors(t *testing.T) {
+	bad := []string{
+		"1\t2\tthroughput\t2014-05-01T12:00:00Z\t2014-05-01T12:00:00Z\t2014-05-01T13:00:00Z\t1.0\t0.5\ttrue", // 9 fields
+		"x\t2\tthroughput\t2014-05-01T12:00:00Z\t2014-05-01T12:00:00Z\t2014-05-01T13:00:00Z\t1.0\t0.5\ttrue\t5",
+		"1\t2\tbogus-class\t2014-05-01T12:00:00Z\t2014-05-01T12:00:00Z\t2014-05-01T13:00:00Z\t1.0\t0.5\ttrue\t5",
+		"1\t2\tthroughput\tnot-a-time\t2014-05-01T12:00:00Z\t2014-05-01T13:00:00Z\t1.0\t0.5\ttrue\t5",
+		"1\t2\tthroughput\t2014-05-01T12:00:00Z\t2014-05-01T12:00:00Z\t2014-05-01T13:00:00Z\t1.0\t0.5\tmaybe\t5",
+	}
+	for _, line := range bad {
+		if _, err := ReadJobLog(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+	// Comments and blank lines are fine.
+	recs, err := ReadJobLog(strings.NewReader("# header\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Error("comments/blank lines should parse to empty log")
+	}
+}

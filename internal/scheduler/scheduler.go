@@ -1,0 +1,166 @@
+package scheduler
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+)
+
+// Record is one scheduled job: the workload spec plus placement and
+// timing. It is the unit of the job log that the per-job nvidia-smi
+// snapshot framework and every correlation analysis consume.
+type Record struct {
+	ID    console.JobID
+	Spec  workload.Job
+	Start time.Time
+	End   time.Time
+	Nodes []topology.NodeID
+}
+
+// Runtime returns the executed duration.
+func (r Record) Runtime() time.Duration { return r.End.Sub(r.Start) }
+
+// GPUCoreHours returns node-hours for the placed job.
+func (r Record) GPUCoreHours() float64 {
+	return float64(len(r.Nodes)) * r.Runtime().Hours()
+}
+
+// Schedule runs the event-driven scheduler over a submission-ordered job
+// stream and returns placement records ordered by start time. Jobs too
+// large for the machine are dropped. The queue is FIFO with a simple
+// backfill: whenever capacity frees, every queued job that now fits is
+// started in arrival order.
+func Schedule(jobs []workload.Job, policy PlacementPolicy) []Record {
+	alloc := NewAllocator(policy)
+	var records []Record
+	var queue []workload.Job
+	running := &endHeap{}
+	heap.Init(running)
+	nextID := console.JobID(1)
+
+	start := func(j workload.Job, at time.Time) bool {
+		nodes := alloc.Alloc(j.Nodes)
+		if nodes == nil {
+			return false
+		}
+		rec := Record{
+			ID:    nextID,
+			Spec:  j,
+			Start: at,
+			End:   at.Add(j.Runtime),
+			Nodes: nodes,
+		}
+		nextID++
+		records = append(records, rec)
+		heap.Push(running, runningJob{end: rec.End, nodes: nodes})
+		return true
+	}
+
+	// drainUntil completes every running job that ends at or before t,
+	// then starts queued jobs that fit, in order.
+	drainUntil := func(t time.Time) {
+		for running.Len() > 0 && !(*running)[0].end.After(t) {
+			rj := heap.Pop(running).(runningJob)
+			alloc.Release(rj.nodes)
+			// Backfill at the moment capacity freed.
+			remaining := queue[:0]
+			for _, qj := range queue {
+				if !start(qj, rj.end) {
+					remaining = append(remaining, qj)
+				}
+			}
+			queue = append([]workload.Job(nil), remaining...)
+		}
+	}
+
+	for _, j := range jobs {
+		if j.Nodes > alloc.Capacity() {
+			continue // can never run
+		}
+		drainUntil(j.Submit)
+		if !start(j, j.Submit) {
+			queue = append(queue, j)
+		}
+	}
+	// Drain everything still running or queued.
+	for running.Len() > 0 {
+		drainUntil((*running)[0].end)
+	}
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Start.Before(records[j].Start) })
+	return records
+}
+
+type runningJob struct {
+	end   time.Time
+	nodes []topology.NodeID
+}
+
+type endHeap []runningJob
+
+func (h endHeap) Len() int            { return len(h) }
+func (h endHeap) Less(i, j int) bool  { return h[i].end.Before(h[j].end) }
+func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x interface{}) { *h = append(*h, x.(runningJob)) }
+func (h *endHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NodeIndex maps nodes to the job occupying them over time, for
+// attributing hardware errors to the job they interrupted. Lookups give
+// the record active on a node at an instant.
+type NodeIndex struct {
+	// perNode[n] holds that node's job intervals sorted by start.
+	perNode map[topology.NodeID][]intervalRef
+	records []Record
+}
+
+type intervalRef struct {
+	start, end time.Time
+	idx        int
+}
+
+// NewNodeIndex builds the occupancy index from a placement log.
+func NewNodeIndex(records []Record) *NodeIndex {
+	ni := &NodeIndex{perNode: make(map[topology.NodeID][]intervalRef), records: records}
+	for i, r := range records {
+		for _, n := range r.Nodes {
+			ni.perNode[n] = append(ni.perNode[n], intervalRef{start: r.Start, end: r.End, idx: i})
+		}
+	}
+	for n := range ni.perNode {
+		ivs := ni.perNode[n]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start.Before(ivs[j].start) })
+	}
+	return ni
+}
+
+// JobAt returns the record running on node n at time t, or nil.
+func (ni *NodeIndex) JobAt(n topology.NodeID, t time.Time) *Record {
+	ivs := ni.perNode[n]
+	// Binary search for the last interval starting at or before t.
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ivs[mid].start.After(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	iv := ivs[lo-1]
+	if t.Before(iv.end) {
+		return &ni.records[iv.idx]
+	}
+	return nil
+}

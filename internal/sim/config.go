@@ -1,0 +1,244 @@
+// Package sim is the field-data generator: a discrete-event simulation of
+// the Titan installation over the paper's Jun'2013-Feb'2015 horizon. It
+// drives the workload generator and batch scheduler, runs the calibrated
+// fault processes against the GPU fleet, applies the operational epochs
+// (the off-the-bus soldering fix, the page-retirement driver, the
+// microcontroller-halt driver upgrade), and emits the three artifacts the
+// study analyzed: the console log, the batch job log, and the per-job
+// nvidia-smi snapshot samples.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"titanre/internal/faults"
+	"titanre/internal/scheduler"
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+	"titanre/internal/xid"
+)
+
+// Config holds every knob of the simulated installation. DefaultConfig
+// returns the calibration that reproduces the paper's shapes; the
+// ablation benches flip individual switches.
+type Config struct {
+	// Seed drives every random stream; equal seeds give byte-identical
+	// logs.
+	Seed int64
+
+	// Start and End bound the simulated production period.
+	Start time.Time
+	End   time.Time
+
+	// Operational epochs.
+	//
+	// OTBFix is when the system-integration (soldering) fix eliminated
+	// off-the-bus errors. RetirementDriver is when the driver gained
+	// dynamic page retirement (XID 63/64 first appear). DriverUpgrade is
+	// when XID 59 halts were replaced by XID 62 halts.
+	OTBFix           time.Time
+	RetirementDriver time.Time
+	DriverUpgrade    time.Time
+
+	// Machine-wide hardware fault rates (events per hour).
+	DBERatePerHour        float64
+	OTBRatePreFixPerHour  float64
+	OTBRatePostFixPerHour float64
+	// OTBCluster and OTBClusterSpread shape the clustering of
+	// off-the-bus events ("these errors were mostly clustered").
+	OTBCluster       float64
+	OTBClusterSpread time.Duration
+
+	// DriverRates are machine-wide rates for driver-caused XIDs that
+	// occur independently of jobs. Codes missing from the map never
+	// occur spontaneously (XID 42 is in the catalog but never fired on
+	// Titan).
+	DriverRates map[xid.Code]float64
+
+	// InfoROMFlushProb is the chance the driver persists a DBE to the
+	// InfoROM before the node goes down; the gap is why nvidia-smi
+	// undercounts DBEs versus console logs (Observation 2).
+	InfoROMFlushProb float64
+
+	// RetireDelayMin/Max bound the lag between a DBE and its XID 63
+	// console record (Fig. 8: most retirements land within ten minutes).
+	RetireDelayMin time.Duration
+	RetireDelayMax time.Duration
+	// Retirement64Prob is the chance an XID 64 companion record
+	// accompanies an XID 63.
+	Retirement64Prob float64
+
+	// Thermal sensitivity, expressed as "hazard doubles every N degrees
+	// Fahrenheit above the bottom cage". Zero disables the effect.
+	DBEThermalDoubleF float64
+	OTBThermalDoubleF float64
+	SBEThermalDoubleF float64
+
+	// SBEBrokenCounterFraction is the fraction of cards whose InfoROM
+	// single-bit counter never advances.
+	SBEBrokenCounterFraction float64
+
+	// AppCrash configuration: a buggy job emits one application XID on a
+	// faulting node, which the console then reports on every node of the
+	// job within PropagationWindow (Observation 7).
+	PropagationWindow time.Duration
+	// AppXID13Prob is the probability the application error surfaces as
+	// XID 13 (graphics engine exception) rather than XID 31 (GPU memory
+	// page fault).
+	AppXID13Prob float64
+
+	// FaultyNode reproduces Observation 8: one node whose hardware
+	// defect masquerades as application-level XID 13 errors, repeating
+	// regardless of what is scheduled on it. Negative disables it.
+	FaultyNode         int
+	FaultyNodeRate     float64 // events per hour while active
+	FaultyNodeStart    time.Time
+	FaultyNodeDuration time.Duration
+
+	// Cascades are the parent-to-child follow-on rules (Fig. 13).
+	Cascades []faults.CascadeRule
+
+	// HotSpareThreshold is the DBE count at which a card is pulled to
+	// the hot-spare cluster; zero disables the policy.
+	HotSpareThreshold int
+	// Spares is the initial spare-pool size.
+	Spares int
+
+	// Workload and card-profile calibrations.
+	Workload workload.Params
+	Profiles faults.ProfileParams
+
+	// Allocation selects the placement policy (TorusFit reproduces the
+	// alternating-cabinet pattern; LinearFit is the ablation).
+	Allocation scheduler.PlacementPolicy
+
+	// SampleWindow is how long before End the per-job nvidia-smi
+	// snapshot framework runs ("deployed ... for the period of over a
+	// month").
+	SampleWindow time.Duration
+
+	// InfantMortalityFactor models the counterfactual of skipping the
+	// "early rigorous, stress, acceptance tests that weed out bad GPUs"
+	// (Observation 1): the DBE rate starts at this multiple of steady
+	// state and decays with InfantMortalityHalfLife. Zero or one
+	// disables the effect — Titan's acceptance testing removed it.
+	InfantMortalityFactor   float64
+	InfantMortalityHalfLife time.Duration
+}
+
+// Validate checks the configuration for structural errors before a run.
+func (c Config) Validate() error {
+	switch {
+	case !c.End.After(c.Start):
+		return fmt.Errorf("sim: End %v not after Start %v", c.End, c.Start)
+	case c.DBERatePerHour < 0 || c.OTBRatePreFixPerHour < 0 || c.OTBRatePostFixPerHour < 0:
+		return fmt.Errorf("sim: negative hardware rate")
+	case c.OTBRatePreFixPerHour > 0 && c.OTBRatePostFixPerHour > c.OTBRatePreFixPerHour:
+		return fmt.Errorf("sim: post-fix OTB rate above pre-fix rate")
+	case c.InfoROMFlushProb < 0 || c.InfoROMFlushProb > 1:
+		return fmt.Errorf("sim: InfoROMFlushProb %v outside [0,1]", c.InfoROMFlushProb)
+	case c.RetireDelayMax < c.RetireDelayMin:
+		return fmt.Errorf("sim: retire delay bounds inverted")
+	case c.PropagationWindow < 0:
+		return fmt.Errorf("sim: negative propagation window")
+	case c.FaultyNode >= topology.TotalNodes:
+		return fmt.Errorf("sim: faulty node %d out of range", c.FaultyNode)
+	case c.Workload.Users <= 0:
+		return fmt.Errorf("sim: no users configured")
+	case c.SampleWindow < 0:
+		return fmt.Errorf("sim: negative sample window")
+	case c.InfantMortalityFactor < 0:
+		return fmt.Errorf("sim: negative infant-mortality factor")
+	}
+	for code, rate := range c.DriverRates {
+		if rate < 0 {
+			return fmt.Errorf("sim: negative rate for %v", code)
+		}
+	}
+	return nil
+}
+
+// DefaultConfig returns the study calibration.
+func DefaultConfig() Config {
+	start := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC)
+	return Config{
+		Seed:             1,
+		Start:            start,
+		End:              end,
+		OTBFix:           time.Date(2013, 12, 15, 0, 0, 0, 0, time.UTC),
+		RetirementDriver: time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC),
+		DriverUpgrade:    time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC),
+
+		// One DBE roughly every 160 hours across the machine.
+		DBERatePerHour:        1.0 / 160.0,
+		OTBRatePreFixPerHour:  0.018,
+		OTBRatePostFixPerHour: 0.0004,
+		OTBCluster:            1.5,
+		OTBClusterSpread:      8 * time.Hour,
+
+		DriverRates: map[xid.Code]float64{
+			xid.GPUMemoryPageFault:        0.002,  // plus app-caused instances
+			xid.CorruptedPushBuffer:       0.0004, // "< 10 during production"
+			xid.DriverFirmwareError:       0.00033,
+			xid.GPUStoppedProcessing:      0.006, // plus cascades from XID 13
+			xid.ContextSwitchFault:        0.008,
+			xid.DisplayEngineError:        0.00052,
+			xid.VideoMemoryInterfaceError: 0.00078,
+			xid.UnstableVideoMemory:       0.00065,
+			xid.MicrocontrollerHaltOld:    0.010, // until the driver upgrade
+			xid.MicrocontrollerHaltNew:    0.018, // after it, thermal
+			xid.VideoProcessorFault:       0.00033,
+			// xid.VideoProcessorException (42) intentionally absent: it
+			// never occurred on Titan.
+		},
+
+		InfoROMFlushProb: 0.65,
+		RetireDelayMin:   30 * time.Second,
+		RetireDelayMax:   9 * time.Minute,
+		Retirement64Prob: 0.15,
+
+		DBEThermalDoubleF: 11,
+		OTBThermalDoubleF: 8,
+		SBEThermalDoubleF: 30, // weak: SBE proneness is card-inherent (Obs. 10)
+
+		SBEBrokenCounterFraction: 0.0008,
+
+		PropagationWindow: 5 * time.Second,
+		AppXID13Prob:      0.75,
+
+		FaultyNode:         4217,
+		FaultyNodeRate:     1.0 / 40.0, // roughly every 40 hours while active
+		FaultyNodeStart:    time.Date(2014, 10, 1, 0, 0, 0, 0, time.UTC),
+		FaultyNodeDuration: 60 * 24 * time.Hour,
+
+		Cascades:          faults.DefaultCascadeRules(),
+		HotSpareThreshold: 2,
+		Spares:            256,
+
+		Workload:   defaultWorkloadParams(),
+		Profiles:   defaultProfileParams(),
+		Allocation: scheduler.TorusFit,
+
+		SampleWindow: 35 * 24 * time.Hour,
+	}
+}
+
+// defaultWorkloadParams scales the workload package defaults to keep the
+// machine at roughly two-thirds utilization over the horizon (about 280
+// million node-hours of logs, like the paper's dataset).
+func defaultWorkloadParams() workload.Params {
+	p := workload.DefaultParams()
+	p.ActivityScale = 0.65
+	return p
+}
+
+// defaultProfileParams calibrates the SBE offender tail so the machine
+// sees on the order of hundreds of corrected errors per day.
+func defaultProfileParams() faults.ProfileParams {
+	p := faults.DefaultProfileParams()
+	p.SBELogMu = -6.0
+	p.SBELogSigma = 1.85
+	return p
+}

@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/faults"
+	"titanre/internal/gpu"
+	"titanre/internal/nvsmi"
+	"titanre/internal/scheduler"
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+	"titanre/internal/xid"
+)
+
+// Result is the complete synthetic field dataset for one simulated
+// production period.
+type Result struct {
+	Config Config
+	// Events is the console log, time-ordered.
+	Events []console.Event
+	// Jobs is the batch job log (placement records, start-ordered).
+	Jobs []scheduler.Record
+	// Samples holds the per-job nvidia-smi snapshot measurements taken
+	// during the sampling window at the end of the period.
+	Samples []nvsmi.JobSample
+	// Fleet is the final card population (InfoROM state, hot spares).
+	Fleet *gpu.Fleet
+	// Profiles maps card serials (1-based) to their inherent profiles.
+	Profiles []faults.CardProfile
+	// Users is the workload's user population.
+	Users []workload.UserProfile
+	// Snapshot is the machine-wide nvidia-smi sweep at the end of the
+	// period.
+	Snapshot nvsmi.Snapshot
+	// NodeHours is the total scheduled node-hours over the period.
+	NodeHours float64
+	// TrueSBECount is ground-truth corrected-error volume (for
+	// validating logging inconsistencies against what nvidia-smi saw).
+	TrueSBECount int64
+}
+
+// maxDBEWeight caps per-card DBE weights; the DBE arrival process
+// oversamples by this factor and thins per card, so swaps mid-run keep
+// exact per-card rates. It must stay above the renormalized weight of a
+// DBE-prone card.
+const maxDBEWeight = 160.0
+
+type itemKind int
+
+const (
+	kindJobEnd itemKind = iota
+	kindHardware
+	kindEpoch
+	kindJobStart
+)
+
+type item struct {
+	at   time.Time
+	kind itemKind
+	seq  int
+	// jobIdx indexes Result.Jobs for job items.
+	jobIdx int
+	// code and node describe hardware items.
+	code xid.Code
+	node topology.NodeID
+}
+
+// Run executes the simulation and returns the dataset.
+func Run(cfg Config) *Result {
+	res := &Result{Config: cfg}
+
+	rngWork := rand.New(rand.NewSource(cfg.Seed + 0x5eed0001))
+	rngHW := rand.New(rand.NewSource(cfg.Seed + 0x5eed0002))
+	rngWalk := rand.New(rand.NewSource(cfg.Seed + 0x5eed0003))
+
+	// 1. Workload and placement.
+	gen := workload.NewGenerator(rngWork, cfg.Workload)
+	res.Users = gen.Users()
+	jobs := gen.GenerateJobs(rngWork, cfg.Start, cfg.End)
+	res.Jobs = scheduler.Schedule(jobs, cfg.Allocation)
+	for _, r := range res.Jobs {
+		res.NodeHours += r.GPUCoreHours()
+	}
+
+	// 2. Fleet and card profiles.
+	fleet := gpu.NewFleet(cfg.Spares)
+	fleet.SwapThreshold = cfg.HotSpareThreshold
+	res.Fleet = fleet
+	res.Profiles = faults.AssignProfiles(rngHW, fleet.ManufacturedCount(), cfg.Profiles)
+	for i := range res.Profiles {
+		if res.Profiles[i].DBEWeight > maxDBEWeight {
+			res.Profiles[i].DBEWeight = maxDBEWeight
+		}
+		if cfg.SBEBrokenCounterFraction > 0 && rngHW.Float64() < cfg.SBEBrokenCounterFraction {
+			if c := fleet.CardBySerial(gpu.Serial(i + 1)); c != nil {
+				c.SBECounterBroken = true
+			}
+		}
+	}
+
+	// 3. Hardware arrival pre-generation.
+	var items []item
+	add := func(it item) {
+		it.seq = len(items)
+		items = append(items, it)
+	}
+
+	dbeProc := &faults.NodeProcess{
+		RatePerHour: cfg.DBERatePerHour * maxDBEWeight,
+		Weights:     thermalOrUniform(cfg.DBEThermalDoubleF),
+	}
+	if cfg.InfantMortalityFactor > 1 && cfg.InfantMortalityHalfLife > 0 {
+		dbeProc.Epochs = faults.DecayEpochs(cfg.Start, cfg.InfantMortalityFactor, cfg.InfantMortalityHalfLife)
+	}
+	for _, a := range dbeProc.Generate(rngHW, cfg.Start, cfg.End) {
+		add(item{at: a.Time, kind: kindHardware, code: xid.DoubleBitError, node: a.Node})
+	}
+
+	if cfg.OTBRatePreFixPerHour > 0 {
+		otbProc := &faults.NodeProcess{
+			RatePerHour:   cfg.OTBRatePreFixPerHour,
+			Weights:       thermalOrUniform(cfg.OTBThermalDoubleF),
+			Cluster:       cfg.OTBCluster,
+			ClusterSpread: cfg.OTBClusterSpread,
+			Epochs: []faults.Epoch{{
+				Start:  cfg.OTBFix,
+				End:    cfg.End,
+				Factor: cfg.OTBRatePostFixPerHour / cfg.OTBRatePreFixPerHour,
+			}},
+		}
+		for _, a := range otbProc.Generate(rngHW, cfg.Start, cfg.End) {
+			add(item{at: a.Time, kind: kindHardware, code: xid.OffTheBus, node: a.Node})
+		}
+	}
+
+	// Driver-caused XIDs, in deterministic code order.
+	var driverCodes []xid.Code
+	for code := range cfg.DriverRates {
+		driverCodes = append(driverCodes, code)
+	}
+	sort.Slice(driverCodes, func(i, j int) bool { return driverCodes[i] < driverCodes[j] })
+	for _, code := range driverCodes {
+		rate := cfg.DriverRates[code]
+		if rate <= 0 {
+			continue
+		}
+		proc := &faults.NodeProcess{RatePerHour: rate, Weights: faults.UniformComputeWeights()}
+		switch code {
+		case xid.MicrocontrollerHaltOld:
+			// Replaced by XID 62 at the driver upgrade.
+			proc.Epochs = []faults.Epoch{{Start: cfg.DriverUpgrade, End: cfg.End, Factor: 0}}
+		case xid.MicrocontrollerHaltNew:
+			// Introduced by the driver upgrade; thermally sensitive.
+			proc.Epochs = []faults.Epoch{{Start: cfg.Start, End: cfg.DriverUpgrade, Factor: 0}}
+			proc.Weights = thermalOrUniform(10)
+		}
+		for _, a := range proc.Generate(rngHW, cfg.Start, cfg.End) {
+			add(item{at: a.Time, kind: kindHardware, code: code, node: a.Node})
+		}
+	}
+
+	// The misbehaving node of Observation 8: hardware trouble that
+	// surfaces as XID 13 regardless of the application.
+	if cfg.FaultyNode >= 0 && cfg.FaultyNodeRate > 0 {
+		fStart := cfg.FaultyNodeStart
+		fEnd := fStart.Add(cfg.FaultyNodeDuration)
+		if fEnd.After(cfg.End) {
+			fEnd = cfg.End
+		}
+		t := fStart
+		for {
+			t = t.Add(time.Duration(faults.Exponential(rngHW, cfg.FaultyNodeRate) * float64(time.Hour)))
+			if !t.Before(fEnd) {
+				break
+			}
+			add(item{at: t, kind: kindHardware, code: xid.GraphicsEngineException, node: topology.NodeID(cfg.FaultyNode)})
+		}
+	}
+
+	// Job items and the retirement-driver epoch marker.
+	for i, rec := range res.Jobs {
+		add(item{at: rec.Start, kind: kindJobStart, jobIdx: i})
+		add(item{at: rec.End, kind: kindJobEnd, jobIdx: i})
+	}
+	add(item{at: cfg.RetirementDriver, kind: kindEpoch})
+
+	sort.Slice(items, func(i, j int) bool {
+		if !items[i].at.Equal(items[j].at) {
+			return items[i].at.Before(items[j].at)
+		}
+		if items[i].kind != items[j].kind {
+			return items[i].kind < items[j].kind
+		}
+		return items[i].seq < items[j].seq
+	})
+
+	// 4. Timeline walk.
+	w := &walker{
+		cfg:     cfg,
+		res:     res,
+		fleet:   fleet,
+		rng:     rngWalk,
+		sampler: nvsmi.NewJobSampler(fleet),
+		active:  make([]int32, topology.TotalNodes),
+		sbeW:    faults.SBEStructureWeights(),
+		dbeW:    faults.DBEStructureWeights(),
+	}
+	for i := range w.active {
+		w.active[i] = -1
+	}
+	w.sampleStart = cfg.End.Add(-cfg.SampleWindow)
+
+	for _, it := range items {
+		switch it.kind {
+		case kindEpoch:
+			fleet.EnableRetirement()
+		case kindJobStart:
+			w.jobStart(it.jobIdx)
+		case kindJobEnd:
+			w.jobEnd(it.jobIdx)
+		case kindHardware:
+			w.hardware(it.at, it.code, it.node)
+		}
+	}
+
+	console.SortEvents(res.Events)
+	res.Snapshot = nvsmi.Take(cfg.End, fleet)
+	return res
+}
+
+func thermalOrUniform(deltaDoubleF float64) []float64 {
+	if deltaDoubleF > 0 {
+		return faults.ThermalComputeWeights(deltaDoubleF)
+	}
+	return faults.UniformComputeWeights()
+}
+
+// walker carries the mutable state of the timeline walk.
+type walker struct {
+	cfg         Config
+	res         *Result
+	fleet       *gpu.Fleet
+	rng         *rand.Rand
+	sampler     *nvsmi.JobSampler
+	sampleStart time.Time
+	// active[n] is the index into res.Jobs of the job running on node n,
+	// or -1.
+	active []int32
+	sbeW   []float64
+	dbeW   []float64
+}
+
+func (w *walker) emit(e console.Event) {
+	if e.Time.Before(w.cfg.Start) || !e.Time.Before(w.cfg.End) {
+		return
+	}
+	w.res.Events = append(w.res.Events, e)
+}
+
+func (w *walker) jobAt(n topology.NodeID) console.JobID {
+	if idx := w.active[n]; idx >= 0 {
+		return w.res.Jobs[idx].ID
+	}
+	return 0
+}
+
+func (w *walker) jobStart(idx int) {
+	rec := &w.res.Jobs[idx]
+	for _, n := range rec.Nodes {
+		w.active[n] = int32(idx)
+	}
+	if !rec.Start.Before(w.sampleStart) {
+		w.sampler.Begin(rec.ID, rec.Nodes)
+	}
+}
+
+func (w *walker) jobEnd(idx int) {
+	rec := &w.res.Jobs[idx]
+	w.accrueSBEs(rec)
+	if rec.Spec.Buggy {
+		w.appCrash(rec)
+	}
+	if !rec.Start.Before(w.sampleStart) {
+		sample := w.sampler.End(nvsmi.Record{
+			ID:        rec.ID,
+			User:      rec.Spec.User,
+			Nodes:     rec.Nodes,
+			CoreHours: rec.GPUCoreHours(),
+			MaxMemGB:  rec.Spec.MaxMemoryGB(),
+			TotalMGBh: rec.Spec.TotalMemoryGBh(),
+		})
+		w.res.Samples = append(w.res.Samples, sample)
+	}
+	for _, n := range rec.Nodes {
+		if w.active[n] == int32(idx) {
+			w.active[n] = -1
+		}
+	}
+}
+
+// accrueSBEs draws the job's corrected single bit errors on every
+// susceptible node it held and applies them to the cards, emitting page
+// retirement records when the two-SBE rule fires.
+func (w *walker) accrueSBEs(rec *scheduler.Record) {
+	spanEnd := rec.End
+	if spanEnd.After(w.cfg.End) {
+		spanEnd = w.cfg.End
+	}
+	hours := spanEnd.Sub(rec.Start).Hours()
+	if hours <= 0 {
+		return
+	}
+	for _, n := range rec.Nodes {
+		card := w.fleet.CardAt(n)
+		if card == nil {
+			continue
+		}
+		prof := w.profileOf(card.Serial)
+		if prof.SBERatePerActiveHour <= 0 {
+			continue
+		}
+		rate := prof.SBERatePerActiveHour
+		if w.cfg.SBEThermalDoubleF > 0 {
+			rate *= topology.ThermalAcceleration(n, w.cfg.SBEThermalDoubleF)
+		}
+		count := faults.Poisson(w.rng, rate*hours)
+		for k := int64(0); k < count; k++ {
+			at := rec.Start.Add(time.Duration(w.rng.Float64() * float64(spanEnd.Sub(rec.Start))))
+			s := gpu.Structure(faults.Categorical(w.rng, w.sbeW))
+			page := console.NoPage
+			if s == gpu.DeviceMemory {
+				page = int32(w.rng.Intn(int(gpu.DevicePages)))
+			}
+			w.res.TrueSBECount++
+			if card.RecordSBE(s, page) {
+				w.emitRetirement(at, n, card, page)
+			}
+		}
+	}
+}
+
+// emitRetirement writes the XID 63 (and occasionally 64) console records
+// for a page retirement.
+func (w *walker) emitRetirement(at time.Time, n topology.NodeID, card *gpu.Card, page int32) {
+	ev := console.Event{
+		Time:           at,
+		Node:           n,
+		Serial:         card.Serial,
+		Code:           xid.ECCPageRetirement,
+		Structure:      gpu.DeviceMemory,
+		StructureValid: true,
+		Page:           page,
+		Job:            w.jobAt(n),
+	}
+	w.emit(ev)
+	if w.rng.Float64() < w.cfg.Retirement64Prob {
+		ev64 := ev
+		ev64.Code = xid.ECCPageRetirementAlt
+		ev64.Time = at.Add(time.Second)
+		w.emit(ev64)
+	}
+}
+
+// appCrash emits the application-error signature of a buggy job: one
+// faulting node raises XID 13 (or 31), the error is reported on every
+// node of the allocation within the propagation window, and driver
+// follow-ons cascade on the faulting node.
+func (w *walker) appCrash(rec *scheduler.Record) {
+	crash := rec.End.Add(-w.cfg.PropagationWindow - time.Second)
+	if crash.Before(rec.Start) {
+		crash = rec.Start
+	}
+	code := xid.GPUMemoryPageFault
+	if w.rng.Float64() < w.cfg.AppXID13Prob {
+		code = xid.GraphicsEngineException
+	}
+	faulting := rec.Nodes[w.rng.Intn(len(rec.Nodes))]
+	for _, n := range rec.Nodes {
+		at := crash
+		if n != faulting {
+			at = crash.Add(time.Duration(w.rng.Float64() * float64(w.cfg.PropagationWindow)))
+		}
+		var serial gpu.Serial
+		if c := w.fleet.CardAt(n); c != nil {
+			serial = c.Serial
+		}
+		w.emit(console.Event{
+			Time: at, Node: n, Serial: serial, Code: code,
+			Page: console.NoPage, Job: rec.ID,
+		})
+	}
+	w.cascade(crash, faulting, code, rec.ID)
+}
+
+// cascade expands follow-on child events on the same node.
+func (w *walker) cascade(at time.Time, n topology.NodeID, parent xid.Code, job console.JobID) {
+	for _, child := range faults.Expand(w.rng, w.cfg.Cascades, parent) {
+		var serial gpu.Serial
+		if c := w.fleet.CardAt(n); c != nil {
+			serial = c.Serial
+		}
+		w.emit(console.Event{
+			Time: at.Add(child.Delay), Node: n, Serial: serial,
+			Code: child.Code, Page: console.NoPage, Job: job,
+		})
+	}
+}
+
+// hardware applies one pre-generated hardware arrival.
+func (w *walker) hardware(at time.Time, code xid.Code, n topology.NodeID) {
+	card := w.fleet.CardAt(n)
+	if card == nil {
+		return
+	}
+	job := w.jobAt(n)
+
+	switch code {
+	case xid.DoubleBitError:
+		// Thin by the per-card DBE weight (the process oversamples by
+		// maxDBEWeight), so swaps keep per-card rates exact.
+		prof := w.profileOf(card.Serial)
+		if w.rng.Float64()*maxDBEWeight > prof.DBEWeight {
+			return
+		}
+		s := gpu.Structure(faults.Categorical(w.rng, w.dbeW))
+		page := console.NoPage
+		if s == gpu.DeviceMemory {
+			page = int32(w.rng.Intn(int(gpu.DevicePages)))
+		}
+		flushed := w.rng.Float64() < w.cfg.InfoROMFlushProb
+		retired := card.RecordDBE(s, page, flushed)
+		w.emit(console.Event{
+			Time: at, Node: n, Serial: card.Serial, Code: code,
+			Structure: s, StructureValid: true, Page: page, Job: job,
+		})
+		if retired {
+			delay := w.cfg.RetireDelayMin
+			if span := w.cfg.RetireDelayMax - w.cfg.RetireDelayMin; span > 0 {
+				delay += time.Duration(w.rng.Int63n(int64(span)))
+			}
+			w.emitRetirement(at.Add(delay), n, card, page)
+		}
+		w.cascade(at, n, code, job)
+		w.fleet.NoteDBE(n, at)
+
+	case xid.OffTheBus:
+		w.emit(console.Event{
+			Time: at, Node: n, Serial: card.Serial, Code: code,
+			Page: console.NoPage, Job: job,
+		})
+		// Off-the-bus events are isolated (no cascade) and do not tend
+		// to recur on the same card; the card is reseated/resoldered.
+
+	default:
+		w.emit(console.Event{
+			Time: at, Node: n, Serial: card.Serial, Code: code,
+			Page: console.NoPage, Job: job,
+		})
+		w.cascade(at, n, code, job)
+	}
+}
+
+func (w *walker) profileOf(serial gpu.Serial) faults.CardProfile {
+	idx := int(serial) - 1
+	if idx >= 0 && idx < len(w.res.Profiles) {
+		return w.res.Profiles[idx]
+	}
+	// Cards manufactured beyond the initial pool: unremarkable profile.
+	return faults.CardProfile{DBEWeight: 1}
+}

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/scheduler"
+	"titanre/internal/xid"
+)
+
+// shortConfig is a three-month horizon for fast tests, with epochs pulled
+// inside the window.
+func shortConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Start = time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2013, 9, 1, 0, 0, 0, 0, time.UTC)
+	cfg.OTBFix = time.Date(2013, 7, 15, 0, 0, 0, 0, time.UTC)
+	cfg.RetirementDriver = time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+	cfg.DriverUpgrade = time.Date(2013, 8, 1, 0, 0, 0, 0, time.UTC)
+	cfg.FaultyNodeStart = time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+	cfg.FaultyNodeDuration = 30 * 24 * time.Hour
+	cfg.SampleWindow = 20 * 24 * time.Hour
+	cfg.Workload.Users = 120
+	return cfg
+}
+
+var shortResult = Run(shortConfig(7))
+
+func TestEventsSortedAndInWindow(t *testing.T) {
+	res := shortResult
+	if len(res.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	for i, e := range res.Events {
+		if i > 0 && e.Time.Before(res.Events[i-1].Time) {
+			t.Fatal("events not time-ordered")
+		}
+		if e.Time.Before(res.Config.Start) || !e.Time.Before(res.Config.End) {
+			t.Fatalf("event outside window: %v", e)
+		}
+		if !e.Node.Valid() {
+			t.Fatalf("invalid node: %v", e)
+		}
+		if e.Code != xid.OffTheBus && !xid.Known(e.Code) {
+			t.Fatalf("unknown code: %v", e)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(shortConfig(99))
+	b := Run(shortConfig(99))
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical seeds", i)
+		}
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("sample counts differ")
+	}
+	if a.TrueSBECount != b.TrueSBECount {
+		t.Fatal("SBE totals differ")
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a := Run(shortConfig(1))
+	b := Run(shortConfig(2))
+	if len(a.Events) == len(b.Events) && a.TrueSBECount == b.TrueSBECount {
+		t.Fatal("different seeds produced identical dataset")
+	}
+}
+
+func TestEpochsRespected(t *testing.T) {
+	res := shortResult
+	cfg := res.Config
+	var otbPre, otbPost, x59Post, x62Pre int
+	var firstRet time.Time
+	for _, e := range res.Events {
+		switch e.Code {
+		case xid.OffTheBus:
+			if e.Time.Before(cfg.OTBFix) {
+				otbPre++
+			} else {
+				otbPost++
+			}
+		case xid.MicrocontrollerHaltOld:
+			if !e.Time.Before(cfg.DriverUpgrade) {
+				x59Post++
+			}
+		case xid.MicrocontrollerHaltNew:
+			if e.Time.Before(cfg.DriverUpgrade) {
+				x62Pre++
+			}
+		case xid.ECCPageRetirement:
+			if firstRet.IsZero() {
+				firstRet = e.Time
+			}
+		}
+	}
+	if otbPre == 0 || otbPre < 3*otbPost {
+		t.Errorf("OTB epoch wrong: pre=%d post=%d", otbPre, otbPost)
+	}
+	if x59Post != 0 {
+		t.Errorf("XID 59 after driver upgrade: %d", x59Post)
+	}
+	if x62Pre != 0 {
+		t.Errorf("XID 62 before driver upgrade: %d", x62Pre)
+	}
+	if !firstRet.IsZero() && firstRet.Before(cfg.RetirementDriver) {
+		t.Errorf("page retirement before the retirement driver: %v", firstRet)
+	}
+}
+
+func TestDBEEventShape(t *testing.T) {
+	res := shortResult
+	for _, e := range res.Events {
+		if e.Code != xid.DoubleBitError {
+			continue
+		}
+		if !e.StructureValid {
+			t.Fatal("DBE without structure")
+		}
+		if e.Structure != gpu.DeviceMemory && e.Structure != gpu.RegisterFile {
+			t.Fatalf("DBE in unexpected structure %v", e.Structure)
+		}
+		if e.Structure == gpu.DeviceMemory && e.Page < 0 {
+			t.Fatal("device-memory DBE without page")
+		}
+		if e.Serial == 0 {
+			t.Fatal("DBE without card serial")
+		}
+	}
+}
+
+func TestHotSparePolicy(t *testing.T) {
+	// With threshold 1 every console DBE on a distinct card pulls it.
+	cfg := shortConfig(3)
+	cfg.HotSpareThreshold = 1
+	res := Run(cfg)
+	pulled := res.Fleet.HotSpareCluster()
+	dbe := 0
+	for _, e := range res.Events {
+		if e.Code == xid.DoubleBitError {
+			dbe++
+		}
+	}
+	if dbe == 0 {
+		t.Skip("no DBEs drawn in short window")
+	}
+	if len(pulled) == 0 {
+		t.Fatal("hot-spare cluster empty despite DBEs")
+	}
+	if len(pulled) > dbe {
+		t.Fatalf("pulled %d cards for %d DBEs", len(pulled), dbe)
+	}
+	for _, c := range pulled {
+		if !c.Retired || c.DBEEvents == 0 {
+			t.Fatal("pulled card not marked retired")
+		}
+	}
+}
+
+func TestHotSpareDisabled(t *testing.T) {
+	cfg := shortConfig(3)
+	cfg.HotSpareThreshold = 0
+	res := Run(cfg)
+	if len(res.Fleet.HotSpareCluster()) != 0 {
+		t.Fatal("hot-spare cluster must stay empty when disabled")
+	}
+}
+
+func TestSamplesOnlyInWindow(t *testing.T) {
+	res := shortResult
+	sampleStart := res.Config.End.Add(-res.Config.SampleWindow)
+	recByID := make(map[console.JobID]scheduler.Record)
+	for _, r := range res.Jobs {
+		recByID[r.ID] = r
+	}
+	for _, s := range res.Samples {
+		rec, ok := recByID[s.Job]
+		if !ok {
+			t.Fatalf("sample for unknown job %d", s.Job)
+		}
+		if rec.Start.Before(sampleStart) {
+			t.Fatalf("sample for job starting before the window: %v", rec.Start)
+		}
+		if s.SBEDelta < 0 {
+			t.Fatal("negative SBE delta")
+		}
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+}
+
+func TestAppErrorsCarryJobContext(t *testing.T) {
+	res := shortResult
+	withJob := 0
+	total := 0
+	for _, e := range res.Events {
+		if e.Code == xid.GraphicsEngineException {
+			total++
+			if e.Job != 0 {
+				withJob++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no XID 13 events")
+	}
+	// Only the faulty node's events may lack job context (it fires on
+	// idle nodes too).
+	if float64(withJob) < 0.95*float64(total) {
+		t.Errorf("only %d of %d XID 13 events carry job context", withJob, total)
+	}
+}
+
+func TestSnapshotConsistentWithFleet(t *testing.T) {
+	res := shortResult
+	var fleetSBE int64
+	for _, c := range res.Fleet.Cards() {
+		fleetSBE += c.InfoROM.TotalSBE()
+	}
+	if res.Snapshot.TotalSBE() != fleetSBE {
+		t.Errorf("snapshot SBE %d != fleet %d", res.Snapshot.TotalSBE(), fleetSBE)
+	}
+	if res.TrueSBECount < res.Snapshot.TotalSBE() {
+		t.Error("ground truth cannot be below InfoROM count")
+	}
+}
+
+func TestRawLogRoundTrip(t *testing.T) {
+	// The emitted events must survive console serialization, which is
+	// how titansim writes and titanreport could re-read the dataset.
+	res := Run(func() Config {
+		cfg := shortConfig(5)
+		cfg.End = cfg.Start.AddDate(0, 1, 0) // one month is plenty
+		return cfg
+	}())
+	var sb bytes.Buffer
+	if err := console.WriteLog(&sb, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := console.NewCorrelator().ParseAll(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(res.Events) {
+		t.Fatalf("parsed %d of %d events", len(parsed), len(res.Events))
+	}
+	for i := range parsed {
+		// Raw lines carry second resolution; compare with truncation.
+		want := res.Events[i]
+		want.Time = want.Time.Truncate(time.Second)
+		if parsed[i] != want {
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, parsed[i], want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.End = c.Start },
+		func(c *Config) { c.DBERatePerHour = -1 },
+		func(c *Config) { c.OTBRatePostFixPerHour = c.OTBRatePreFixPerHour * 2 },
+		func(c *Config) { c.InfoROMFlushProb = 1.5 },
+		func(c *Config) { c.RetireDelayMax = c.RetireDelayMin - 1 },
+		func(c *Config) { c.PropagationWindow = -1 },
+		func(c *Config) { c.FaultyNode = 1 << 30 },
+		func(c *Config) { c.Workload.Users = 0 },
+		func(c *Config) { c.SampleWindow = -1 },
+		func(c *Config) { c.InfantMortalityFactor = -2 },
+		func(c *Config) { c.DriverRates = map[xid.Code]float64{43: -1} },
+	}
+	for i, m := range mutate {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestInfantMortality(t *testing.T) {
+	base := shortConfig(21)
+	withIM := base
+	withIM.InfantMortalityFactor = 8
+	withIM.InfantMortalityHalfLife = 14 * 24 * time.Hour
+
+	countEarlyLate := func(res *Result) (early, late int) {
+		mid := res.Config.Start.Add(res.Config.End.Sub(res.Config.Start) / 2)
+		for _, e := range res.Events {
+			if e.Code != xid.DoubleBitError {
+				continue
+			}
+			if e.Time.Before(mid) {
+				early++
+			} else {
+				late++
+			}
+		}
+		return early, late
+	}
+	be, bl := countEarlyLate(Run(base))
+	ie, il := countEarlyLate(Run(withIM))
+	// Without acceptance testing the early half must carry far more DBEs.
+	if ie <= 2*be {
+		t.Errorf("infant mortality early DBEs %d not clearly above baseline %d", ie, be)
+	}
+	if ie <= il {
+		t.Errorf("infant-mortality run should be front-loaded: early %d vs late %d", ie, il)
+	}
+	_ = bl
+}

@@ -1,0 +1,193 @@
+// Package stats provides the statistical machinery the reliability study
+// uses: Pearson and Spearman correlation with p-values, MTBF estimation,
+// inter-arrival histograms, empirical CDFs, rank utilities, normalization
+// for the paper's sorted-and-normalized correlation plots, and top-k
+// offender exclusion.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Correlation bundles a coefficient with its two-sided p-value.
+type Correlation struct {
+	Coefficient float64
+	PValue      float64
+	N           int
+}
+
+// Pearson computes the Pearson product-moment correlation between x and y
+// along with a two-sided p-value from the t distribution with n-2 degrees
+// of freedom. It needs at least three pairs and non-degenerate variance.
+func Pearson(x, y []float64) (Correlation, error) {
+	if len(x) != len(y) {
+		return Correlation{}, errors.New("stats: length mismatch")
+	}
+	n := len(x)
+	if n < 3 {
+		return Correlation{}, ErrInsufficientData
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return Correlation{}, errors.New("stats: zero variance")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp against floating point drift before the p-value transform.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return Correlation{Coefficient: r, PValue: corrPValue(r, n), N: n}, nil
+}
+
+// Spearman computes the Spearman rank correlation: Pearson on the ranks,
+// with average ranks for ties, and the same t-based p-value.
+func Spearman(x, y []float64) (Correlation, error) {
+	if len(x) != len(y) {
+		return Correlation{}, errors.New("stats: length mismatch")
+	}
+	rx := Ranks(x)
+	ry := Ranks(y)
+	c, err := Pearson(rx, ry)
+	if err != nil {
+		return Correlation{}, err
+	}
+	return c, nil
+}
+
+// corrPValue converts a correlation coefficient into a two-sided p-value
+// via the exact t distribution with n-2 degrees of freedom.
+func corrPValue(r float64, n int) float64 {
+	df := float64(n - 2)
+	denom := 1 - r*r
+	if denom <= 0 {
+		return 0
+	}
+	t := r * math.Sqrt(df/denom)
+	return 2 * studentTSF(math.Abs(t), df)
+}
+
+// studentTSF is the survival function P(T > t) of Student's t with df
+// degrees of freedom, computed through the regularized incomplete beta
+// function.
+func studentTSF(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Ranks assigns 1-based ranks to the values, averaging ranks across ties
+// (the convention Spearman correlation requires).
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// Distribution fitting for inter-arrival analysis.
+//
+// The paper argues qualitatively that double bit errors "are not bursty
+// in nature" while application XIDs are. These fits make that
+// quantitative: a Weibull shape parameter near 1 (equivalently, a
+// Kolmogorov-Smirnov test that cannot reject exponentiality) means a
+// memoryless failure process; shape < 1 means clustering (a decreasing
+// hazard: events beget events), the signature of burstiness.
+
+// ExponentialFit is the MLE of an exponential rate.
+type ExponentialFit struct {
+	Rate float64 // events per unit
+	N    int
+}
+
+// FitExponential fits an exponential distribution to positive samples.
+func FitExponential(x []float64) (ExponentialFit, error) {
+	if len(x) == 0 {
+		return ExponentialFit{}, ErrInsufficientData
+	}
+	var sum float64
+	for _, v := range x {
+		if v < 0 {
+			return ExponentialFit{}, errors.New("stats: negative sample")
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return ExponentialFit{}, errors.New("stats: zero-mass sample")
+	}
+	return ExponentialFit{Rate: float64(len(x)) / sum, N: len(x)}, nil
+}
+
+// WeibullFit is the MLE of a Weibull distribution.
+type WeibullFit struct {
+	Shape float64 // k: <1 clustering, 1 memoryless, >1 wear-out
+	Scale float64 // lambda
+	N     int
+}
+
+// FitWeibull fits a Weibull distribution to positive samples by Newton
+// iteration on the shape's profile likelihood.
+func FitWeibull(x []float64) (WeibullFit, error) {
+	n := len(x)
+	if n < 3 {
+		return WeibullFit{}, ErrInsufficientData
+	}
+	var meanLog float64
+	for _, v := range x {
+		if v <= 0 {
+			return WeibullFit{}, errors.New("stats: non-positive sample")
+		}
+		meanLog += math.Log(v)
+	}
+	meanLog /= float64(n)
+
+	// Solve f(k) = S1(k)/S0(k) - 1/k - meanLog = 0 where
+	// S0 = sum x^k, S1 = sum x^k ln x.
+	k := 1.0
+	for iter := 0; iter < 100; iter++ {
+		var s0, s1, s2 float64
+		for _, v := range x {
+			xk := math.Pow(v, k)
+			l := math.Log(v)
+			s0 += xk
+			s1 += xk * l
+			s2 += xk * l * l
+		}
+		f := s1/s0 - 1/k - meanLog
+		// f'(k) = (S2*S0 - S1^2)/S0^2 + 1/k^2.
+		fp := (s2*s0-s1*s1)/(s0*s0) + 1/(k*k)
+		step := f / fp
+		k -= step
+		if k <= 0 {
+			k = 1e-3
+		}
+		if math.Abs(step) < 1e-10 {
+			break
+		}
+	}
+	var s0 float64
+	for _, v := range x {
+		s0 += math.Pow(v, k)
+	}
+	scale := math.Pow(s0/float64(n), 1/k)
+	return WeibullFit{Shape: k, Scale: scale, N: n}, nil
+}
+
+// KSExponential runs a Kolmogorov-Smirnov test of the samples against an
+// exponential distribution with the given rate, returning the D statistic
+// and the asymptotic p-value. Small p rejects exponentiality.
+//
+// Note: when the rate was itself estimated from the same samples the
+// p-value is conservative (the Lilliefors correction is not applied);
+// treat it as a comparative index rather than an exact significance.
+func KSExponential(x []float64, rate float64) (d, p float64, err error) {
+	n := len(x)
+	if n == 0 || rate <= 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	for i, v := range s {
+		cdf := 1 - math.Exp(-rate*v)
+		lo := cdf - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - cdf
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d, ksPValue(math.Sqrt(float64(n)) * d), nil
+}
+
+// ksPValue is the asymptotic Kolmogorov distribution survival function
+// Q(t) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 t^2).
+func ksPValue(t float64) float64 {
+	if t < 1e-3 {
+		return 1
+	}
+	var q float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*t*t)
+		q += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * q
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// MTBFConfidence returns the exact confidence interval for the MTBF of a
+// homogeneous Poisson failure process observed for a fixed window with n
+// events, via the chi-square distribution: the rate's CI is
+// [chi2(alpha/2, 2n)/2T, chi2(1-alpha/2, 2n+2)/2T]. Quantiles use the
+// Wilson-Hilferty approximation, accurate to a fraction of a percent for
+// the degrees of freedom that matter here.
+func MTBFConfidence(n int, window time.Duration, level float64) (lo, hi time.Duration, err error) {
+	if n <= 0 || window <= 0 || level <= 0 || level >= 1 {
+		return 0, 0, ErrInsufficientData
+	}
+	alpha := 1 - level
+	t := window.Hours()
+	upperRate := chiSquareQuantile(1-alpha/2, 2*float64(n)+2) / (2 * t)
+	lowerRate := chiSquareQuantile(alpha/2, 2*float64(n)) / (2 * t)
+	if lowerRate <= 0 || upperRate <= 0 {
+		return 0, 0, errors.New("stats: degenerate chi-square quantile")
+	}
+	lo = time.Duration(1 / upperRate * float64(time.Hour))
+	hi = time.Duration(1 / lowerRate * float64(time.Hour))
+	return lo, hi, nil
+}
+
+// chiSquareQuantile approximates the p-quantile of chi-square with k
+// degrees of freedom (Wilson-Hilferty).
+func chiSquareQuantile(p, k float64) float64 {
+	z := normalQuantile(p)
+	a := 2.0 / (9 * k)
+	v := 1 - a + z*math.Sqrt(a)
+	return k * v * v * v
+}
+
+// normalQuantile is the standard normal quantile via the
+// Beasley-Springer-Moro rational approximation.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// PoissonChangepoint finds the most likely single change point in a
+// series of daily counts under a piecewise-constant Poisson model: the
+// split index k maximizing the likelihood of rate lambda1 before k and
+// lambda2 from k on. It returns the index and the log-likelihood-ratio
+// statistic against the no-change model (larger = stronger evidence; as
+// a rule of thumb values above ~10 are decisive for day-scale series).
+//
+// This is how a site can *infer* a regime change — like the December 2013
+// off-the-bus soldering fix — from the data instead of knowing the
+// maintenance date.
+func PoissonChangepoint(counts []int) (k int, lrt float64, err error) {
+	n := len(counts)
+	if n < 4 {
+		return 0, 0, ErrInsufficientData
+	}
+	// Prefix sums for O(1) segment MLEs.
+	prefix := make([]float64, n+1)
+	for i, c := range counts {
+		if c < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		prefix[i+1] = prefix[i] + float64(c)
+	}
+	total := prefix[n]
+	segLL := func(sum, length float64) float64 {
+		// Poisson log-likelihood up to terms independent of lambda:
+		// sum*log(lambda) - length*lambda with lambda = sum/length.
+		if sum == 0 || length == 0 {
+			return 0
+		}
+		lambda := sum / length
+		return sum*math.Log(lambda) - length*lambda
+	}
+	nullLL := segLL(total, float64(n))
+	best := -math.MaxFloat64
+	bestK := 0
+	for split := 1; split < n; split++ {
+		ll := segLL(prefix[split], float64(split)) + segLL(total-prefix[split], float64(n-split))
+		if ll > best {
+			best = ll
+			bestK = split
+		}
+	}
+	return bestK, 2 * (best - nullLL), nil
+}

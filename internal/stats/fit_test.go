@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func expSamples(rng *rand.Rand, n int, rate float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.ExpFloat64() / rate
+	}
+	return out
+}
+
+func weibullSamples(rng *rand.Rand, n int, scale, shape float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		out[i] = scale * math.Pow(-math.Log(u), 1/shape)
+	}
+	return out
+}
+
+func TestFitExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fit, err := FitExponential(expSamples(rng, 5000, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rate-0.25) > 0.02 {
+		t.Errorf("rate = %v, want ~0.25", fit.Rate)
+	}
+	if _, err := FitExponential(nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitExponential([]float64{-1}); err == nil {
+		t.Error("negative sample should fail")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Error("zero-mass sample should fail")
+	}
+}
+
+func TestFitWeibullMemoryless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fit, err := FitWeibull(expSamples(rng, 4000, 1.0/160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Shape < 0.92 || fit.Shape > 1.08 {
+		t.Errorf("shape = %v, want ~1 for Poisson arrivals", fit.Shape)
+	}
+	if math.Abs(fit.Scale-160)/160 > 0.1 {
+		t.Errorf("scale = %v, want ~160", fit.Scale)
+	}
+}
+
+func TestFitWeibullClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fit, err := FitWeibull(weibullSamples(rng, 4000, 10, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Shape < 0.45 || fit.Shape > 0.56 {
+		t.Errorf("shape = %v, want ~0.5 for clustered arrivals", fit.Shape)
+	}
+}
+
+func TestFitWeibullWearOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	fit, err := FitWeibull(weibullSamples(rng, 4000, 5, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Shape < 2.3 || fit.Shape > 2.7 {
+		t.Errorf("shape = %v, want ~2.5", fit.Shape)
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull([]float64{1, 2}); err != ErrInsufficientData {
+		t.Error("short sample should fail")
+	}
+	if _, err := FitWeibull([]float64{1, 2, 0}); err == nil {
+		t.Error("non-positive sample should fail")
+	}
+}
+
+func TestKSExponentialAcceptsExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := expSamples(rng, 2000, 0.5)
+	fit, _ := FitExponential(x)
+	d, p, err := KSExponential(x, fit.Rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("KS rejected true exponential: d=%v p=%v", d, p)
+	}
+}
+
+func TestKSExponentialRejectsClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := weibullSamples(rng, 2000, 10, 0.4)
+	fit, _ := FitExponential(x)
+	_, p, err := KSExponential(x, fit.Rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-4 {
+		t.Errorf("KS failed to reject heavy clustering: p=%v", p)
+	}
+}
+
+func TestKSExponentialErrors(t *testing.T) {
+	if _, _, err := KSExponential(nil, 1); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, _, err := KSExponential([]float64{1}, 0); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	if ksPValue(0) != 1 {
+		t.Error("tiny statistic should give p=1")
+	}
+	if p := ksPValue(10); p > 1e-12 {
+		t.Errorf("huge statistic should give p~0, got %v", p)
+	}
+	// Known value: Q(1.36) ~ 0.049 (the classic 5% critical point).
+	if p := ksPValue(1.36); math.Abs(p-0.049) > 0.003 {
+		t.Errorf("Q(1.36) = %v, want ~0.049", p)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959964,
+		0.025: -1.959964,
+		0.995: 2.575829,
+		0.01:  -2.326348,
+	}
+	for p, want := range cases {
+		if got := normalQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("z(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("edge quantiles should be infinite")
+	}
+}
+
+func TestChiSquareQuantile(t *testing.T) {
+	// chi2(0.95, 10) = 18.307; chi2(0.05, 10) = 3.940.
+	if got := chiSquareQuantile(0.95, 10); math.Abs(got-18.307) > 0.1 {
+		t.Errorf("chi2(0.95,10) = %v", got)
+	}
+	if got := chiSquareQuantile(0.05, 10); math.Abs(got-3.940) > 0.1 {
+		t.Errorf("chi2(0.05,10) = %v", got)
+	}
+}
+
+func TestMTBFConfidence(t *testing.T) {
+	// 100 events over 16000 hours: MTBF 160 h; the exact 95% CI is
+	// roughly [132, 195] hours.
+	lo, hi, err := MTBFConfidence(100, 16000*time.Hour, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatal("inverted interval")
+	}
+	if lo.Hours() < 120 || lo.Hours() > 145 {
+		t.Errorf("lo = %v", lo)
+	}
+	if hi.Hours() < 180 || hi.Hours() > 210 {
+		t.Errorf("hi = %v", hi)
+	}
+	// The point estimate must be inside.
+	if 160 < lo.Hours() || 160 > hi.Hours() {
+		t.Error("point estimate outside CI")
+	}
+	if _, _, err := MTBFConfidence(0, time.Hour, 0.95); err == nil {
+		t.Error("zero events should fail")
+	}
+	if _, _, err := MTBFConfidence(5, 0, 0.95); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, _, err := MTBFConfidence(5, time.Hour, 1.5); err == nil {
+		t.Error("bad level should fail")
+	}
+}
+
+func TestPoissonChangepoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	counts := make([]int, 300)
+	for i := range counts {
+		mean := 6.0
+		if i >= 180 {
+			mean = 0.4
+		}
+		// Small Poisson draw.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				break
+			}
+			k++
+		}
+		counts[i] = k
+	}
+	k, lrt, err := PoissonChangepoint(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 170 || k > 190 {
+		t.Errorf("changepoint at %d, want ~180", k)
+	}
+	if lrt < 50 {
+		t.Errorf("LRT = %v, want decisive", lrt)
+	}
+	// A flat series has weak evidence.
+	flat := make([]int, 100)
+	for i := range flat {
+		flat[i] = 3 + (i % 2)
+	}
+	_, lrtFlat, err := PoissonChangepoint(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrtFlat > lrt/10 {
+		t.Errorf("flat-series LRT %v too strong", lrtFlat)
+	}
+	if _, _, err := PoissonChangepoint([]int{1, 2}); err == nil {
+		t.Error("short series should fail")
+	}
+	if _, _, err := PoissonChangepoint([]int{1, -1, 2, 3}); err == nil {
+		t.Error("negative counts should fail")
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import "sort"
+
+// Top-k offender exclusion.
+//
+// The paper repeatedly re-runs an analysis after removing the 10 and 50
+// GPU cards with the most single bit errors, because a handful of cards
+// produce almost all SBEs and swamp every spatial and correlation result.
+// These helpers implement that exclusion over generic keyed counts.
+
+// KeyCount is a (key, count) pair for offender rankings.
+type KeyCount struct {
+	Key   uint64
+	Count int64
+}
+
+// TopOffenders returns the k keys with the largest counts, ties broken by
+// ascending key for determinism, sorted by descending count.
+func TopOffenders(counts map[uint64]int64, k int) []KeyCount {
+	all := make([]KeyCount, 0, len(counts))
+	for key, c := range counts {
+		all = append(all, KeyCount{Key: key, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return all[:k]
+}
+
+// ExcludeKeys returns a copy of counts without the given keys.
+func ExcludeKeys(counts map[uint64]int64, exclude []KeyCount) map[uint64]int64 {
+	drop := make(map[uint64]bool, len(exclude))
+	for _, kc := range exclude {
+		drop[kc.Key] = true
+	}
+	out := make(map[uint64]int64, len(counts))
+	for k, v := range counts {
+		if !drop[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// SkewRatio reports what fraction of the total count the top-k keys carry;
+// 0 when the total is zero. It is the quantitative form of the paper's
+// "a small fraction of cards are responsible for almost all of the SBEs".
+func SkewRatio(counts map[uint64]int64, k int) float64 {
+	var total int64
+	for _, v := range counts {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	var top int64
+	for _, kc := range TopOffenders(counts, k) {
+		top += kc.Count
+	}
+	return float64(top) / float64(total)
+}

@@ -1,0 +1,106 @@
+package topology
+
+// Gemini 3-D torus coordinates.
+//
+// Titan's Gemini interconnect is a 25 x 16 x 24 torus of routers, one
+// router per node pair (9,600 routers for 19,200 slots). The model here
+// maps the physical hierarchy onto torus coordinates the way the machine
+// was cabled:
+//
+//	X — the cabinet row (25 values), cabled row to row;
+//	Y — the position along a row: cabinets are visited in the folded
+//	    order (physical columns 0,2,4,6,7,5,3,1), two Y-slices per
+//	    cabinet (the two routers of each blade), 16 values;
+//	Z — the position within a cabinet: cage*8 + blade, 24 values.
+//
+// The fold is exactly why consecutive Y coordinates alternate physical
+// cabinets (paper Fig. 12): Y-adjacent routers must be one short cable
+// apart, so the torus neighbor of a cabinet is two floor positions away,
+// except at the fold ends.
+//
+// Hop distance on the torus quantifies the scheduler's job-compactness
+// goal: allocations contiguous in the folded-torus linearization occupy
+// small torus volumes, while physically contiguous (linear) allocations
+// are stretched across Y.
+
+// Torus dimensions (routers).
+const (
+	TorusX = Rows                            // 25
+	TorusY = Columns * 2                     // 16
+	TorusZ = CagesPerCabinet * BladesPerCage // 24
+)
+
+// TorusCoord is a Gemini router coordinate.
+type TorusCoord struct {
+	X, Y, Z int
+}
+
+// GeminiCoord returns the torus coordinate of the router serving node n.
+func GeminiCoord(n NodeID) TorusCoord {
+	loc := LocationOf(n)
+	routerInBlade := loc.Node / NodesPerRouter // 0 or 1
+	return TorusCoord{
+		X: loc.Row,
+		Y: unfoldColumn(loc.Column)*2 + routerInBlade,
+		Z: loc.Cage*BladesPerCage + loc.Blade,
+	}
+}
+
+// HopDistance is the minimal router-to-router hop count on the torus
+// (Manhattan distance with wraparound in each dimension).
+func HopDistance(a, b TorusCoord) int {
+	return wrapDist(a.X, b.X, TorusX) + wrapDist(a.Y, b.Y, TorusY) + wrapDist(a.Z, b.Z, TorusZ)
+}
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// MeanPairwiseHops estimates the mean router hop distance between nodes
+// of an allocation. For allocations larger than sampleCap nodes it
+// samples deterministic strided pairs; smaller allocations are measured
+// exactly.
+func MeanPairwiseHops(nodes []NodeID, sampleCap int) float64 {
+	n := len(nodes)
+	if n < 2 {
+		return 0
+	}
+	coords := make([]TorusCoord, n)
+	for i, nd := range nodes {
+		coords[i] = GeminiCoord(nd)
+	}
+	var sum float64
+	var count int
+	if n <= sampleCap {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += float64(HopDistance(coords[i], coords[j]))
+				count++
+			}
+		}
+	} else {
+		// Deterministic strided sampling: pair i with i+stride for a
+		// few co-prime strides.
+		for _, stride := range []int{1, 7, 61, 509} {
+			for i := 0; i < n; i++ {
+				j := (i + stride) % n
+				if i == j {
+					continue
+				}
+				sum += float64(HopDistance(coords[i], coords[j]))
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

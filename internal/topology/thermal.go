@@ -1,0 +1,57 @@
+package topology
+
+// Thermal model.
+//
+// Titan's cabinets are cooled from the bottom: chilled air enters below the
+// lowest cage and warms as it rises, so GPUs in the uppermost cage run on
+// average more than 10 degrees Fahrenheit hotter than GPUs in the lowest
+// cage of the same cabinet (paper Section 3.1). Several error classes in
+// the study (double bit errors, off-the-bus events, page retirements) show
+// elevated rates in the upper cages, consistent with temperature
+// sensitivity. The fault processes consume this model to modulate
+// per-node hazard rates.
+
+import "math"
+
+// Baseline GPU temperatures by cage, in degrees Fahrenheit, as reported by
+// an nvidia-smi snapshot across the machine. Cage 0 is the bottom cage.
+const (
+	BaseTempF         = 86.0 // bottom-cage average GPU temperature
+	TempStepPerCageF  = 5.5  // average increase per cage going up
+	TopBottomDeltaF   = TempStepPerCageF * (CagesPerCabinet - 1)
+	tempJitterSpreadF = 3.0 // deterministic per-node spread around the cage mean
+)
+
+// CageTempF returns the average GPU temperature for a cage index.
+func CageTempF(cage int) float64 {
+	return BaseTempF + TempStepPerCageF*float64(cage)
+}
+
+// NodeTempF returns a deterministic per-node temperature: the cage average
+// plus a small node-dependent offset. The offset is a hash of the node ID
+// so that repeated queries agree and the population within a cage has a
+// stable spread without needing a random source.
+func NodeTempF(n NodeID) float64 {
+	loc := LocationOf(n)
+	h := uint64(n)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	frac := float64(h%1000)/999.0 - 0.5 // [-0.5, 0.5]
+	return CageTempF(loc.Cage) + frac*2*tempJitterSpreadF
+}
+
+// ThermalAcceleration returns a multiplicative hazard-rate factor for a
+// node based on its temperature relative to the bottom-cage baseline. The
+// model is a mild exponential (Arrhenius-flavored) acceleration: rate
+// doubles roughly every deltaDoubleF degrees above baseline.
+func ThermalAcceleration(n NodeID, deltaDoubleF float64) float64 {
+	if deltaDoubleF <= 0 {
+		return 1
+	}
+	dt := NodeTempF(n) - BaseTempF
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp2(dt / deltaDoubleF)
+}

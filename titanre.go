@@ -1,0 +1,278 @@
+// Package titanre is a synthetic reproduction of "Reliability Lessons
+// Learned From GPU Experience With The Titan Supercomputer at Oak Ridge
+// Leadership Computing Facility" (Tiwari et al., SC '15).
+//
+// The package simulates the Titan installation — 18,688 NVIDIA K20X GPUs
+// across 200 cabinets, its batch workload, its calibrated fault
+// processes, and its logging stack (console logs parsed by SEC rules,
+// nvidia-smi InfoROM snapshots with their documented inconsistencies) —
+// and provides the analysis pipeline that regenerates every figure,
+// table, and observation of the paper from the synthetic field data.
+//
+// The five-minute tour:
+//
+//	cfg := titanre.DefaultConfig()
+//	cfg.Seed = 42
+//	study := titanre.NewStudy(cfg)         // simulate Jun'13..Feb'15
+//	study.WriteReport(os.Stdout)           // every figure, every table
+//	for _, oc := range study.CheckObservations() {
+//	    fmt.Println(oc.Number, oc.Pass, oc.Detail)
+//	}
+//
+// Everything is deterministic: the same Config produces byte-identical
+// logs. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package titanre
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"titanre/internal/alert"
+	"titanre/internal/analysis"
+	"titanre/internal/checkpoint"
+	"titanre/internal/console"
+	"titanre/internal/core"
+	"titanre/internal/dataset"
+	"titanre/internal/faults"
+	"titanre/internal/filtering"
+	"titanre/internal/gpu"
+	"titanre/internal/nvsmi"
+	"titanre/internal/predict"
+	"titanre/internal/scheduler"
+	"titanre/internal/sim"
+	"titanre/internal/stats"
+	"titanre/internal/topology"
+	"titanre/internal/workload"
+	"titanre/internal/xid"
+)
+
+// Config is the full parameterization of the simulated installation.
+type Config = sim.Config
+
+// Result is the generated field dataset (console log, job log, nvidia-smi
+// samples, fleet state).
+type Result = sim.Result
+
+// Study binds a dataset to the analysis pipeline; one accessor per paper
+// figure.
+type Study = core.Study
+
+// ObservationCheck is the automated verdict on one of the paper's
+// fourteen observations.
+type ObservationCheck = core.ObservationCheck
+
+// Event is one structured console-log record.
+type Event = console.Event
+
+// XID identifies a GPU error class (NVIDIA XID codes plus synthetic codes
+// for SBE and off-the-bus events).
+type XID = xid.Code
+
+// XIDInfo is a catalog entry from the paper's Tables 1 and 2.
+type XIDInfo = xid.Info
+
+// NodeID is a dense index of one of Titan's 19,200 node slots.
+type NodeID = topology.NodeID
+
+// Location is the physical coordinate (row, column, cage, blade, node) of
+// a slot.
+type Location = topology.Location
+
+// Grid is a cabinet-resolution floor map used by spatial figures.
+type Grid = analysis.Grid
+
+// Correlation is a coefficient with its p-value.
+type Correlation = stats.Correlation
+
+// MonthCount is one bar of a monthly-frequency figure.
+type MonthCount = analysis.MonthCount
+
+// CageCounts is a per-cage distribution (totals plus distinct cards).
+type CageCounts = analysis.CageCounts
+
+// RetirementTiming is the Fig. 8 retirement-after-DBE histogram.
+type RetirementTiming = analysis.RetirementTiming
+
+// SBESkew is the Fig. 14 offender-exclusion analysis.
+type SBESkew = analysis.SBESkew
+
+// UtilizationCorrelation is one row of the Figs. 16-19 result.
+type UtilizationCorrelation = analysis.UtilizationCorrelation
+
+// UserCorrelation is the Fig. 20 per-user analysis.
+type UserCorrelation = analysis.UserCorrelation
+
+// WorkloadCharacteristics is the Fig. 21 analysis.
+type WorkloadCharacteristics = analysis.WorkloadCharacteristics
+
+// JobSample is one per-batch-job nvidia-smi measurement.
+type JobSample = nvsmi.JobSample
+
+// JobRecord is one placed batch job.
+type JobRecord = scheduler.Record
+
+// CardProfile is the inherent reliability character of a GPU card.
+type CardProfile = faults.CardProfile
+
+// Structure identifies a K20X memory structure.
+type Structure = gpu.Structure
+
+// PlacementPolicy selects how the batch scheduler lays jobs out.
+type PlacementPolicy = scheduler.PlacementPolicy
+
+// Placement policies: Titan's production folded-torus order, the linear
+// ablation, and Observation 4's thermal-aware cool-cages-first policy.
+const (
+	TorusFitPolicy     PlacementPolicy = scheduler.TorusFit
+	LinearFitPolicy    PlacementPolicy = scheduler.LinearFit
+	CoolFirstFitPolicy PlacementPolicy = scheduler.CoolFirstFit
+)
+
+// Commonly referenced error codes. Real NVIDIA XIDs (13, 31, 43, 48, ...)
+// can be used as plain integers; these are the synthetic and headline
+// codes.
+const (
+	SingleBitErrorXID XID = xid.SingleBitError
+	OffTheBusXID      XID = xid.OffTheBus
+	DoubleBitErrorXID XID = xid.DoubleBitError
+	PageRetirementXID XID = xid.ECCPageRetirement
+)
+
+// DefaultConfig returns the calibration that reproduces the paper's
+// shapes over the Jun'2013-Feb'2015 horizon.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewStudy simulates the configured installation and prepares the
+// analysis pipeline.
+func NewStudy(cfg Config) *Study { return core.New(cfg) }
+
+// StudyFromResult wraps an existing dataset.
+func StudyFromResult(res *Result) *Study { return core.FromResult(res) }
+
+// Simulate generates the field dataset without the analysis layer.
+func Simulate(cfg Config) *Result { return sim.Run(cfg) }
+
+// HardwareErrorTable returns the paper's Table 1.
+func HardwareErrorTable() []XIDInfo { return xid.HardwareTable() }
+
+// SoftwareErrorTable returns the paper's Table 2.
+func SoftwareErrorTable() []XIDInfo { return xid.SoftwareTable() }
+
+// LookupXID returns the catalog entry for an error code.
+func LookupXID(code XID) (XIDInfo, bool) { return xid.Lookup(code) }
+
+// ParseConsoleLog parses raw console lines through the production SEC
+// rule set.
+func ParseConsoleLog(r io.Reader) ([]Event, error) {
+	return console.NewCorrelator().ParseAll(r)
+}
+
+// WriteConsoleLog renders events as raw console lines.
+func WriteConsoleLog(w io.Writer, events []Event) error {
+	return console.WriteLog(w, events)
+}
+
+// FilterIncidents applies the paper's per-code time-threshold filter: an
+// event is kept only when the previous kept event of the same code is at
+// least window older. Five seconds collapses a job-wide error storm into
+// one incident (Section 2.2).
+func FilterIncidents(events []Event, window time.Duration) []Event {
+	return filtering.TimeThreshold(events, window)
+}
+
+// Spearman computes the rank correlation with a t-based p-value.
+func Spearman(x, y []float64) (Correlation, error) { return stats.Spearman(x, y) }
+
+// Pearson computes the linear correlation with a t-based p-value.
+func Pearson(x, y []float64) (Correlation, error) { return stats.Pearson(x, y) }
+
+// ---- Operator alerting (package alert) ----
+
+// Alert is one raised operational condition.
+type Alert = alert.Alert
+
+// AlertConfig tunes the streaming detectors.
+type AlertConfig = alert.Config
+
+// AlertEngine consumes console events in time order and raises alerts.
+type AlertEngine = alert.Engine
+
+// DefaultAlertConfig mirrors OLCF's practices: hot-spare pulls at two
+// DBEs, burst detection on OTB/DBE, first-seen-code alerts, and the
+// Observation 8 suspect-node rule.
+func DefaultAlertConfig() AlertConfig { return alert.DefaultConfig() }
+
+// NewAlertEngine builds a streaming alert engine.
+func NewAlertEngine(cfg AlertConfig) *AlertEngine { return alert.NewEngine(cfg) }
+
+// ---- Checkpoint planning (package checkpoint) ----
+
+// CheckpointStats summarizes one simulated checkpointed execution.
+type CheckpointStats = checkpoint.RunStats
+
+// YoungInterval returns Young's optimal checkpoint interval
+// sqrt(2*C*MTBF).
+func YoungInterval(mtbf, cost time.Duration) time.Duration {
+	return checkpoint.YoungInterval(mtbf, cost)
+}
+
+// DalyInterval returns Daly's higher-order optimal checkpoint interval.
+func DalyInterval(mtbf, cost time.Duration) time.Duration {
+	return checkpoint.DalyInterval(mtbf, cost)
+}
+
+// SimulateCheckpoints executes a run with the given useful work,
+// checkpoint interval/cost and restart cost against a concrete failure
+// trace (offsets from run start).
+func SimulateCheckpoints(work, interval, cost, restart time.Duration, failures []time.Duration) (CheckpointStats, error) {
+	return checkpoint.Simulate(work, interval, cost, restart, failures)
+}
+
+// ---- Failure prediction (package predict) ----
+
+// Predictor is a precursor-rule failure-prediction model.
+type Predictor = predict.Model
+
+// PredictorConfig controls training and evaluation of a Predictor.
+type PredictorConfig = predict.Config
+
+// PredictionRule is one learned precursor relation.
+type PredictionRule = predict.Rule
+
+// PredictionEval summarizes held-out predictor performance.
+type PredictionEval = predict.Evaluation
+
+// DefaultPredictorConfig targets crash-causing driver follow-ons with a
+// ten-minute lead window.
+func DefaultPredictorConfig() PredictorConfig { return predict.DefaultConfig() }
+
+// TrainPredictor learns precursor rules from a time-ordered event stream.
+func TrainPredictor(events []Event, cfg PredictorConfig) *Predictor {
+	return predict.Train(events, cfg)
+}
+
+// SplitEventsByTime partitions a stream at a fraction of its span for
+// train/test evaluation.
+func SplitEventsByTime(events []Event, frac float64) (train, test []Event) {
+	return predict.SplitByTime(events, frac)
+}
+
+// WriteDataset stores a result's artifacts (console.log, jobs.tsv,
+// samples.tsv, snapshot.tsv) into a directory.
+func WriteDataset(dir string, res *Result) error { return dataset.Write(dir, res) }
+
+// LoadDataset reads a dataset directory back; cfg supplies the
+// operational context the flat files cannot carry (epochs, propagation
+// window), and zero Start/End are inferred from the data.
+func LoadDataset(dir string, cfg Config) (*Result, error) { return dataset.Load(dir, cfg) }
+
+// NewWorkload draws the synthetic user population and job stream used by
+// the simulator, exposed for custom experiments.
+func NewWorkload(rng *rand.Rand, p workload.Params) *workload.Generator {
+	return workload.NewGenerator(rng, p)
+}
+
+// WorkloadParams re-exports the workload calibration type.
+type WorkloadParams = workload.Params
