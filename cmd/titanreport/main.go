@@ -9,6 +9,12 @@
 // With -data, the report is computed from a dataset directory written by
 // titansim instead of running a fresh simulation — the console log is
 // re-parsed through the SEC rules, exactly like the production pipeline.
+// The load goes through the recovering ingest path: corrupted lines are
+// quarantined instead of killing the run, a quarantine summary goes to
+// stderr, and the report gains an ingestion-health section whenever the
+// load was not perfectly clean. -strict restores the fail-fast loader.
+// The command exits non-zero when ingestion fails outright (no readable
+// artifacts).
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"titanre/internal/core"
 	"titanre/internal/dataset"
+	"titanre/internal/ingest"
 	"titanre/internal/sim"
 )
 
@@ -30,6 +37,8 @@ func main() {
 	digest := flag.Bool("digest", false, "print the monthly operations digest instead of the full report")
 	export := flag.String("export", "", "also write per-figure TSV data files into this directory")
 	data := flag.String("data", "", "analyze a dataset directory written by titansim instead of simulating")
+	strict := flag.Bool("strict", false, "fail fast on any dataset corruption instead of quarantining")
+	quarantine := flag.String("quarantine", "", "write the quarantine (dead-letter) log to this file")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -47,12 +56,30 @@ func main() {
 			// Infer the observation window from the data itself.
 			cfg.Start, cfg.End = time.Time{}, time.Time{}
 		}
-		res, err := dataset.Load(*data, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "titanreport:", err)
-			os.Exit(1)
+		if *strict {
+			res, err := dataset.Load(*data, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "titanreport:", err)
+				os.Exit(1)
+			}
+			study = core.FromResult(res)
+		} else {
+			res, health, err := dataset.LoadResilient(*data, cfg, ingest.DefaultOptions())
+			if health != nil && !health.Clean() {
+				health.WriteSummary(os.Stderr)
+			}
+			if *quarantine != "" && health != nil {
+				if werr := writeQuarantine(*quarantine, health); werr != nil {
+					fmt.Fprintln(os.Stderr, "titanreport:", werr)
+					os.Exit(1)
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "titanreport: ingestion failed:", err)
+				os.Exit(1)
+			}
+			study = core.FromIngest(res, health)
 		}
-		study = core.FromResult(res)
 	} else {
 		study = core.New(cfg)
 	}
@@ -81,4 +108,16 @@ func main() {
 		return
 	}
 	study.WriteReport(w)
+}
+
+func writeQuarantine(path string, health *ingest.Health) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := health.WriteQuarantineLog(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -8,7 +8,15 @@
 //
 // Usage:
 //
-//	titansim [-seed N] [-months M] [-out DIR]
+//	titansim [-seed N] [-months M] [-out DIR] [-corrupt P] [-corrupt-seed N]
+//
+// -corrupt emits an adversarial dataset: after writing the artifacts, a
+// deterministic injector mutates them at per-line rate P the way real
+// console feeds break — truncated lines, torn/interleaved writes,
+// duplicates, out-of-order arrival, garbled annotations, encoding junk,
+// and missing or partially-written artifact files. Same seeds, same
+// corrupted bytes; use it to exercise the recovering ingest path in
+// titanreport and xidtool.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"time"
 
 	"titanre/internal/dataset"
+	"titanre/internal/ingest"
 	"titanre/internal/sim"
 	"titanre/internal/xid"
 )
@@ -27,7 +36,14 @@ func main() {
 	months := flag.Int("months", 0, "shorten the horizon to M months (0 = full Jun'13..Feb'15)")
 	out := flag.String("out", "titan-dataset", "output directory")
 	summary := flag.Bool("summary", false, "print per-XID counts instead of writing files")
+	corrupt := flag.Float64("corrupt", 0, "per-line corruption rate in [0,1]; 0 writes a clean dataset")
+	corruptSeed := flag.Int64("corrupt-seed", 0, "corruption injector seed (default: the simulation seed)")
 	flag.Parse()
+
+	if *corrupt < 0 || *corrupt > 1 {
+		fmt.Fprintln(os.Stderr, "titansim: -corrupt must be in [0,1]")
+		os.Exit(1)
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
@@ -60,6 +76,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
+
+	if *corrupt > 0 {
+		cs := *corruptSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		rep, err := ingest.CorruptDataset(*out, ingest.CorruptOptions{Rate: *corrupt, Seed: cs})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "adversarial corruption at rate %.3f (seed %d):\n", *corrupt, cs)
+		rep.WriteSummary(os.Stderr)
+	}
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ import (
 	"titanre/internal/alert"
 	"titanre/internal/console"
 	"titanre/internal/filtering"
+	"titanre/internal/ingest"
 	"titanre/internal/nvsmi"
 	"titanre/internal/report"
 	"titanre/internal/topology"
@@ -169,16 +170,29 @@ func parseLog(path string) []console.Event {
 	return parseLogWith(console.NewCorrelator(), path)
 }
 
+// parseLogWith reads a console log through the recovering ingest path:
+// corrupt lines are quarantined (summary on stderr) instead of aborting
+// the tool, and the exit code is non-zero only when ingestion fails
+// outright — the file is unreadable, or it had lines and none survived.
 func parseLogWith(c *console.Correlator, path string) []console.Event {
-	f, err := os.Open(path)
+	f, err := ingest.OpenWithRetry(path, ingest.DefaultOptions())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xidtool:", err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	events, err := c.ParseAll(f)
+	events, health, err := ingest.IngestConsole(f, c, ingest.DefaultOptions())
+	health.Name = path
+	if !health.Clean() {
+		h := ingest.Health{Artifacts: []*ingest.ArtifactHealth{health}}
+		h.WriteSummary(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xidtool:", err)
+		os.Exit(1)
+	}
+	if health.Read > 0 && health.Accepted+health.Recovered == 0 {
+		fmt.Fprintf(os.Stderr, "xidtool: ingestion failed: all %d lines of %s quarantined\n", health.Read, path)
 		os.Exit(1)
 	}
 	return events

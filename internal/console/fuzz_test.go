@@ -1,0 +1,56 @@
+package console
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRawLine asserts the SEC parser never panics, whatever a lossy
+// console feed throws at it. The seed corpus covers every corruption
+// category the ingest injector produces: truncated lines, torn fragments,
+// garbled annotations, CRLF tails, control bytes, and invalid UTF-8.
+func FuzzParseRawLine(f *testing.F) {
+	whole := sampleEvent().Raw()
+	otb := sampleEvent()
+	otb.StructureValid = false
+	otbLine := otb.Raw()
+
+	seeds := []string{
+		whole,
+		otbLine,
+		"",
+		"   ",
+		"plain chatter without a header",
+		whole[:len(whole)/2], // truncated
+		whole[len(whole)/2:], // torn tail
+		whole[:30],           // torn head
+		strings.Replace(whole, "serial=1234", "serial=zz9q", 1), // garbled annotation
+		strings.Replace(whole, "page=777", "page=x0x0x", 1),
+		whole + "\r",                         // CRLF tail
+		"\x00\x01\x07" + whole,               // control-byte prefix
+		whole[:20] + "\xff\xfe" + whole[20:], // invalid UTF-8 mid-line
+		"[2014-02-03 11:52:99] c3-2c1s4n2 kernel: NVRM: Xid (0000:04:00): 48, msg",              // bad timestamp
+		"[2014-02-03 11:52:07] not-a-node kernel: NVRM: Xid (0000:04:00): 48, msg",              // bad node
+		"[2014-02-03 11:52:07] c3-2c1s4n2 kernel: NVRM: Xid (0000:04:00): 13, double bit error", // code mismatch
+		"[nonsense] [more] kernel: NVRM:",
+		strings.Repeat("a\tb\t", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	c := NewCorrelator()
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, v := c.Classify(line)
+		if v == VerdictEvent && ev.Time.IsZero() {
+			t.Errorf("classified as event but has zero time: %q", line)
+		}
+		ev2, ok := c.ParseLine(line)
+		if ok != (v == VerdictEvent) {
+			t.Errorf("ParseLine ok=%v disagrees with Classify verdict %v: %q", ok, v, line)
+		}
+		if ok && ev2 != ev {
+			t.Errorf("ParseLine and Classify events differ for %q", line)
+		}
+	})
+}

@@ -41,7 +41,10 @@ type Correlator struct {
 var (
 	headerRe = regexp.MustCompile(`^\[(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2})\] (c\d+-\d+c\d+s\d+n\d+) kernel: NVRM: (.*)$`)
 	xidRe    = regexp.MustCompile(`^Xid \([0-9a-f:.]+\): (-?\d+),`)
-	kvRe     = regexp.MustCompile(`(serial|job|unit|page)=([A-Za-z0-9-]+)`)
+	// The value class is deliberately wide (any non-space run): a garbled
+	// value must still be *seen* so the record can be rejected as
+	// malformed instead of silently parsed without its annotation.
+	kvRe = regexp.MustCompile(`(serial|job|unit|page)=(\S+)`)
 )
 
 // NewCorrelator returns a correlator loaded with the production rule set:
@@ -84,14 +87,61 @@ func (c *Correlator) Rules() []Rule {
 	return out
 }
 
-// ParseLine classifies one console line. ok is false when the line matched
-// no rule (chatter) or was malformed; malformed lines also increment the
-// Malformed counter.
-func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
+// Verdict says what a console line turned out to be. It separates the
+// two "not an event" cases the operational counters lump together —
+// chatter (no rule matched) and malformed records — into the categories
+// a recovering ingester needs to decide between quarantine and resync.
+type Verdict int
+
+const (
+	// VerdictEvent: the line decoded into a full event record.
+	VerdictEvent Verdict = iota
+	// VerdictNoHeader: the line does not look like a console record at
+	// all (no "[ts] cname kernel: NVRM:" header). Torn tail fragments
+	// land here.
+	VerdictNoHeader
+	// VerdictChatter: well-formed header but the message matched no SEC
+	// rule. Torn head fragments that kept their header also land here.
+	VerdictChatter
+	// VerdictBadTime: header matched but the timestamp did not decode.
+	VerdictBadTime
+	// VerdictBadNode: header matched but the cname did not decode.
+	VerdictBadNode
+	// VerdictCodeMismatch: the explicit XID number in the message
+	// disagrees with the rule that matched.
+	VerdictCodeMismatch
+	// VerdictBadAnnotation: a trailing key=value annotation did not
+	// decode (garbled serial/job/unit/page).
+	VerdictBadAnnotation
+)
+
+// String names the verdict for quarantine categorization.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictEvent:
+		return "event"
+	case VerdictNoHeader:
+		return "no-header"
+	case VerdictChatter:
+		return "chatter"
+	case VerdictBadTime:
+		return "bad-timestamp"
+	case VerdictBadNode:
+		return "bad-node"
+	case VerdictCodeMismatch:
+		return "code-mismatch"
+	case VerdictBadAnnotation:
+		return "bad-annotation"
+	}
+	return "unknown"
+}
+
+// Classify decodes one console line without touching the operational
+// counters. ParseLine and the ingest recovery path are both built on it.
+func (c *Correlator) Classify(line string) (ev Event, v Verdict) {
 	m := headerRe.FindStringSubmatch(line)
 	if m == nil {
-		c.Dropped++
-		return Event{}, false
+		return Event{}, VerdictNoHeader
 	}
 	msg := m[3]
 	var matched *Rule
@@ -102,26 +152,22 @@ func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
 		}
 	}
 	if matched == nil {
-		c.Dropped++
-		return Event{}, false
+		return Event{}, VerdictChatter
 	}
 	ts, err := time.ParseInLocation("2006-01-02 15:04:05", m[1], time.UTC)
 	if err != nil {
-		c.Malformed++
-		return Event{}, false
+		return Event{}, VerdictBadTime
 	}
 	node, err := topology.ParseNodeID(m[2])
 	if err != nil {
-		c.Malformed++
-		return Event{}, false
+		return Event{}, VerdictBadNode
 	}
 	// Sanity: when the message carries an explicit XID number it must
 	// agree with the rule that matched.
 	if xm := xidRe.FindStringSubmatch(msg); xm != nil {
 		n, _ := strconv.Atoi(xm[1])
 		if xid.Code(n) != matched.Code {
-			c.Malformed++
-			return Event{}, false
+			return Event{}, VerdictCodeMismatch
 		}
 	}
 	ev = Event{Time: ts, Node: node, Code: matched.Code, Page: NoPage}
@@ -130,35 +176,47 @@ func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
 		case "serial":
 			n, err := strconv.ParseUint(kv[2], 10, 32)
 			if err != nil {
-				c.Malformed++
-				return Event{}, false
+				return Event{}, VerdictBadAnnotation
 			}
 			ev.Serial = gpu.Serial(n)
 		case "job":
 			n, err := strconv.ParseInt(kv[2], 10, 64)
 			if err != nil {
-				c.Malformed++
-				return Event{}, false
+				return Event{}, VerdictBadAnnotation
 			}
 			ev.Job = JobID(n)
 		case "unit":
 			s, known := tokenStruct[kv[2]]
 			if !known {
-				c.Malformed++
-				return Event{}, false
+				return Event{}, VerdictBadAnnotation
 			}
 			ev.Structure = s
 			ev.StructureValid = true
 		case "page":
 			n, err := strconv.ParseInt(kv[2], 10, 32)
 			if err != nil {
-				c.Malformed++
-				return Event{}, false
+				return Event{}, VerdictBadAnnotation
 			}
 			ev.Page = int32(n)
 		}
 	}
-	return ev, true
+	return ev, VerdictEvent
+}
+
+// ParseLine classifies one console line. ok is false when the line matched
+// no rule (chatter) or was malformed; malformed lines also increment the
+// Malformed counter.
+func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
+	ev, v := c.Classify(line)
+	switch v {
+	case VerdictEvent:
+		return ev, true
+	case VerdictNoHeader, VerdictChatter:
+		c.Dropped++
+	default:
+		c.Malformed++
+	}
+	return Event{}, false
 }
 
 // ParseAll reads a whole console log and returns every event it could

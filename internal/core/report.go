@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"titanre/internal/analysis"
 	"titanre/internal/filtering"
+	"titanre/internal/gpu"
 	"titanre/internal/report"
 	"titanre/internal/xid"
 )
@@ -18,6 +20,13 @@ func writeReport(w io.Writer, s *Study) {
 		s.Config.Start.Format("2006-01-02"), s.Config.End.Format("2006-01-02"), s.Config.Seed)
 	fmt.Fprintf(w, "jobs %d, console events %d, scheduled node-hours %.0fM\n",
 		len(s.Result.Jobs), len(s.Result.Events), s.Result.NodeHours/1e6)
+
+	// Ingestion health: only a dirty resilient load prints this, so a
+	// clean dataset keeps the report byte-identical to the fail-fast
+	// pipeline.
+	if s.ingestHealth != nil && !s.ingestHealth.Clean() {
+		report.IngestHealth(w, s.ingestHealth, s.ConfidenceFlags())
+	}
 
 	// Tables 1 and 2.
 	hwRows := [][]string{}
@@ -50,7 +59,13 @@ func writeReport(w io.Writer, s *Study) {
 	for _, c := range breakdown {
 		total += c
 	}
-	for st, c := range breakdown {
+	structures := make([]gpu.Structure, 0, len(breakdown))
+	for st := range breakdown {
+		structures = append(structures, st)
+	}
+	sort.Slice(structures, func(i, j int) bool { return structures[i] < structures[j] })
+	for _, st := range structures {
+		c := breakdown[st]
 		fmt.Fprintf(w, "%-22s %3d (%.0f%%)\n", st, c, 100*float64(c)/float64(total))
 	}
 

@@ -14,6 +14,7 @@ import (
 	"titanre/internal/console"
 	"titanre/internal/filtering"
 	"titanre/internal/gpu"
+	"titanre/internal/ingest"
 	"titanre/internal/nvsmi"
 	"titanre/internal/scheduler"
 	"titanre/internal/sim"
@@ -29,6 +30,13 @@ type Study struct {
 	byCode map[xid.Code][]console.Event
 	sbe    map[topology.NodeID]int64
 	top10  []topology.NodeID
+
+	// ingestHealth is the ledger of a resilient dataset load; nil when
+	// the data came from a fresh simulation or the strict loader.
+	ingestHealth *ingest.Health
+	// confidenceThreshold is the per-artifact coverage below which
+	// analyses fed by that artifact are flagged low-confidence.
+	confidenceThreshold float64
 }
 
 // New runs the simulation for the given configuration and prepares the
@@ -44,6 +52,54 @@ func FromResult(res *sim.Result) *Study {
 	s := &Study{Config: res.Config, Result: res}
 	s.index()
 	return s
+}
+
+// FromIngest wraps a dataset that came through the resilient loader,
+// keeping its ingestion-health ledger so the report can carry coverage
+// and degraded-mode confidence flags. A nil health behaves like
+// FromResult.
+func FromIngest(res *sim.Result, health *ingest.Health) *Study {
+	s := FromResult(res)
+	s.ingestHealth = health
+	s.confidenceThreshold = ingest.DefaultOptions().ConfidenceThreshold
+	return s
+}
+
+// IngestHealth returns the ingestion ledger, or nil when the dataset did
+// not come through the resilient loader.
+func (s *Study) IngestHealth() *ingest.Health { return s.ingestHealth }
+
+// confidenceAffected maps each artifact to the analyses it feeds; an
+// artifact below the coverage threshold degrades exactly these.
+var confidenceAffected = map[string]string{
+	"console.log":  "Figs 2-13 (console-event series, spatial maps, co-occurrence), observation checks",
+	"jobs.tsv":     "scheduled node-hours, Fig 21 workload shapes, sample-allocation rejoin",
+	"samples.tsv":  "Figs 16-20 (utilization and per-user SBE correlations)",
+	"snapshot.tsv": "Figs 14-15 (SBE skew, cage analyses), top-offender selection",
+}
+
+// ConfidenceFlags lists the analyses running on degraded input: every
+// artifact whose ingestion coverage fell below the threshold set by the
+// resilient loader. Empty for clean loads and simulated datasets.
+func (s *Study) ConfidenceFlags() []ingest.ConfidenceFlag {
+	if s.ingestHealth == nil {
+		return nil
+	}
+	threshold := s.confidenceThreshold
+	if threshold <= 0 {
+		threshold = ingest.DefaultOptions().ConfidenceThreshold
+	}
+	var flags []ingest.ConfidenceFlag
+	for _, a := range s.ingestHealth.Artifacts {
+		if cov := a.Coverage(); a.Missing || cov < threshold {
+			flags = append(flags, ingest.ConfidenceFlag{
+				Artifact: a.Name,
+				Coverage: cov,
+				Affected: confidenceAffected[a.Name],
+			})
+		}
+	}
+	return flags
 }
 
 func (s *Study) index() {

@@ -12,12 +12,14 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
 	"titanre/internal/console"
+	"titanre/internal/ingest"
 	"titanre/internal/nvsmi"
 	"titanre/internal/scheduler"
 	"titanre/internal/sim"
@@ -29,6 +31,18 @@ const (
 	JobsFile     = "jobs.tsv"
 	SamplesFile  = "samples.tsv"
 	SnapshotFile = "snapshot.tsv"
+)
+
+// Sentinel errors distinguishing the two ways an artifact load fails.
+// Both are wrapped with the artifact file name (and, for parse errors,
+// the line number reported by the underlying reader), so errors.Is works
+// through the full chain.
+var (
+	// ErrMissingArtifact: the artifact file does not exist.
+	ErrMissingArtifact = errors.New("missing artifact")
+	// ErrUnparseableArtifact: the artifact exists but its content could
+	// not be decoded.
+	ErrUnparseableArtifact = errors.New("unparseable artifact")
 )
 
 // Write stores a result's artifacts into dir, creating it if needed.
@@ -81,23 +95,17 @@ func writeFile(dir, name string, fn func(*os.File) error) error {
 func Load(dir string, cfg sim.Config) (*sim.Result, error) {
 	res := &sim.Result{Config: cfg}
 
-	cf, err := os.Open(filepath.Join(dir, ConsoleFile))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
-	events, err := console.NewCorrelator().ParseAll(cf)
-	cf.Close()
+	events, err := loadArtifact(dir, ConsoleFile, func(f *os.File) ([]console.Event, error) {
+		return console.NewCorrelator().ParseAll(f)
+	})
 	if err != nil {
 		return nil, err
 	}
 	res.Events = events
 
-	jf, err := os.Open(filepath.Join(dir, JobsFile))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
-	jobs, err := scheduler.ReadJobLog(jf)
-	jf.Close()
+	jobs, err := loadArtifact(dir, JobsFile, func(f *os.File) ([]scheduler.Record, error) {
+		return scheduler.ReadJobLog(f)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -106,16 +114,50 @@ func Load(dir string, cfg sim.Config) (*sim.Result, error) {
 		res.NodeHours += r.GPUCoreHours()
 	}
 
-	sf, err := os.Open(filepath.Join(dir, SamplesFile))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
-	samples, err := nvsmi.ReadSamples(sf)
-	sf.Close()
+	samples, err := loadArtifact(dir, SamplesFile, func(f *os.File) ([]nvsmi.JobSample, error) {
+		return nvsmi.ReadSamples(f)
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Rejoin allocations: the sample format does not repeat node lists.
+	rejoinAllocations(samples, jobs)
+	res.Samples = samples
+
+	snap, err := loadArtifact(dir, SnapshotFile, func(f *os.File) (nvsmi.Snapshot, error) {
+		return nvsmi.ReadSnapshot(f)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = snap
+
+	finishLoad(res)
+	return res, nil
+}
+
+// loadArtifact opens and decodes one artifact, classifying failures with
+// the sentinel errors and tagging them with the file name. Line-number
+// context comes from the underlying readers' errors.
+func loadArtifact[T any](dir, name string, parse func(*os.File) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return zero, fmt.Errorf("dataset: %s: %w: %w", name, ErrMissingArtifact, err)
+		}
+		return zero, fmt.Errorf("dataset: %s: %w", name, err)
+	}
+	defer f.Close()
+	v, err := parse(f)
+	if err != nil {
+		return zero, fmt.Errorf("dataset: %s: %w: %w", name, ErrUnparseableArtifact, err)
+	}
+	return v, nil
+}
+
+// rejoinAllocations restores per-sample node lists from the job log; the
+// sample format does not repeat them.
+func rejoinAllocations(samples []nvsmi.JobSample, jobs []scheduler.Record) {
 	byID := make(map[console.JobID]int, len(jobs))
 	for i, r := range jobs {
 		byID[r.ID] = i
@@ -125,19 +167,10 @@ func Load(dir string, cfg sim.Config) (*sim.Result, error) {
 			samples[i].UsedNodes = jobs[idx].Nodes
 		}
 	}
-	res.Samples = samples
+}
 
-	nf, err := os.Open(filepath.Join(dir, SnapshotFile))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
-	snap, err := nvsmi.ReadSnapshot(nf)
-	nf.Close()
-	if err != nil {
-		return nil, err
-	}
-	res.Snapshot = snap
-
+// finishLoad infers the observation window when the config left it open.
+func finishLoad(res *sim.Result) {
 	if res.Config.Start.IsZero() || res.Config.End.IsZero() {
 		start, end := inferWindow(res)
 		if res.Config.Start.IsZero() {
@@ -147,7 +180,93 @@ func Load(dir string, cfg sim.Config) (*sim.Result, error) {
 			res.Config.End = end
 		}
 	}
-	return res, nil
+}
+
+// LoadResilient reads a dataset directory through the recovering ingest
+// pipeline: per-line error isolation with quarantine instead of
+// fail-fast, bounded resync of torn records, retry-with-backoff on
+// transiently unreadable files, and graceful degradation when auxiliary
+// artifacts are missing. The returned health ledger carries exact
+// accounting (read = accepted + recovered + quarantined per artifact).
+//
+// On a byte-clean dataset it returns exactly what Load returns and a
+// health ledger whose Clean() is true. An error is returned only when
+// nothing analyzable survives — every artifact missing or unreadable.
+func LoadResilient(dir string, cfg sim.Config, opts ingest.Options) (*sim.Result, *ingest.Health, error) {
+	res := &sim.Result{Config: cfg}
+	health := &ingest.Health{}
+
+	open := func(name string) (*os.File, *ingest.ArtifactHealth) {
+		f, err := ingest.OpenWithRetry(filepath.Join(dir, name), opts)
+		if err != nil {
+			a := ingest.MissingArtifact(name)
+			health.Artifacts = append(health.Artifacts, a)
+			return nil, a
+		}
+		return f, nil
+	}
+
+	if f, _ := open(ConsoleFile); f != nil {
+		events, h, err := ingest.IngestConsole(f, console.NewCorrelator(), opts)
+		f.Close()
+		h.Name = ConsoleFile
+		health.Artifacts = append(health.Artifacts, h)
+		if err == nil || len(events) > 0 {
+			res.Events = events
+		}
+	}
+
+	var jobs []scheduler.Record
+	if f, _ := open(JobsFile); f != nil {
+		var h *ingest.ArtifactHealth
+		var err error
+		jobs, h, err = ingest.IngestJobLog(f, opts)
+		f.Close()
+		h.Name = JobsFile
+		health.Artifacts = append(health.Artifacts, h)
+		if err != nil && len(jobs) == 0 {
+			jobs = nil
+		}
+	}
+	res.Jobs = jobs
+	for _, r := range jobs {
+		res.NodeHours += r.GPUCoreHours()
+	}
+
+	if f, _ := open(SamplesFile); f != nil {
+		samples, h, err := ingest.IngestSamples(f, opts)
+		f.Close()
+		h.Name = SamplesFile
+		health.Artifacts = append(health.Artifacts, h)
+		if err == nil || len(samples) > 0 {
+			rejoinAllocations(samples, jobs)
+			res.Samples = samples
+		}
+	}
+
+	if f, _ := open(SnapshotFile); f != nil {
+		snap, h, err := ingest.IngestSnapshot(f, opts)
+		f.Close()
+		h.Name = SnapshotFile
+		health.Artifacts = append(health.Artifacts, h)
+		if err == nil || len(snap.Devices) > 0 {
+			res.Snapshot = snap
+		}
+	}
+
+	allMissing := true
+	for _, a := range health.Artifacts {
+		if !a.Missing {
+			allMissing = false
+			break
+		}
+	}
+	if allMissing {
+		return nil, health, fmt.Errorf("dataset: %s: no readable artifacts: %w", dir, ErrMissingArtifact)
+	}
+
+	finishLoad(res)
+	return res, health, nil
 }
 
 // inferWindow derives the observation window from the data: the earliest

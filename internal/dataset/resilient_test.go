@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"titanre/internal/console"
+	"titanre/internal/core"
+	"titanre/internal/ingest"
+	"titanre/internal/sim"
+)
+
+func writeTiny(t *testing.T) (string, *sim.Result) {
+	t.Helper()
+	res := tinyResult(t)
+	dir := t.TempDir()
+	if err := Write(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	return dir, res
+}
+
+func TestSentinelErrors(t *testing.T) {
+	dir, res := writeTiny(t)
+
+	if err := os.Remove(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir, res.Config)
+	if !errors.Is(err, ErrMissingArtifact) {
+		t.Errorf("missing artifact: err=%v, want ErrMissingArtifact in chain", err)
+	}
+	if errors.Is(err, ErrUnparseableArtifact) {
+		t.Errorf("missing artifact must not also read as unparseable: %v", err)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), []byte("not\ta\tsnapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir, res.Config)
+	if !errors.Is(err, ErrUnparseableArtifact) {
+		t.Errorf("garbage artifact: err=%v, want ErrUnparseableArtifact in chain", err)
+	}
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte(SnapshotFile)) {
+		t.Errorf("error does not name the artifact: %v", err)
+	}
+}
+
+func TestLoadResilientCleanEqualsLoad(t *testing.T) {
+	dir, res := writeTiny(t)
+	want, err := Load(dir, res.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, health, err := LoadResilient(dir, res.Config, ingest.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !health.Clean() {
+		t.Errorf("clean dataset should produce a clean ledger")
+		health.WriteSummary(os.Stderr)
+	}
+	if !reflect.DeepEqual(got.Events, want.Events) {
+		t.Errorf("events differ between resilient and fail-fast loads")
+	}
+	if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+		t.Errorf("jobs differ between resilient and fail-fast loads")
+	}
+	if !reflect.DeepEqual(got.Samples, want.Samples) {
+		t.Errorf("samples differ between resilient and fail-fast loads")
+	}
+	if !reflect.DeepEqual(got.Snapshot, want.Snapshot) {
+		t.Errorf("snapshot differs between resilient and fail-fast loads")
+	}
+	if got.NodeHours != want.NodeHours {
+		t.Errorf("node-hours %f vs %f", got.NodeHours, want.NodeHours)
+	}
+}
+
+func TestLoadResilientMissingAuxiliary(t *testing.T) {
+	dir, res := writeTiny(t)
+	if err := os.Remove(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	got, health, err := LoadResilient(dir, res.Config, ingest.DefaultOptions())
+	if err != nil {
+		t.Fatalf("a missing snapshot must degrade, not fail: %v", err)
+	}
+	if len(got.Events) == 0 || len(got.Jobs) == 0 {
+		t.Errorf("surviving artifacts not loaded: %d events, %d jobs", len(got.Events), len(got.Jobs))
+	}
+	a := health.Artifact(SnapshotFile)
+	if a == nil || !a.Missing {
+		t.Fatalf("snapshot not recorded as missing: %+v", a)
+	}
+	if a.Coverage() != 0 {
+		t.Errorf("missing artifact coverage %f, want 0", a.Coverage())
+	}
+	if health.Clean() {
+		t.Error("a load with a missing artifact is not clean")
+	}
+
+	study := core.FromIngest(got, health)
+	flags := study.ConfidenceFlags()
+	found := false
+	for _, f := range flags {
+		if f.Artifact == SnapshotFile && f.Coverage == 0 && f.Affected != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing snapshot not flagged low-confidence: %+v", flags)
+	}
+}
+
+func TestLoadResilientAllMissing(t *testing.T) {
+	_, _, err := LoadResilient(t.TempDir(), sim.DefaultConfig(), ingest.DefaultOptions())
+	if !errors.Is(err, ErrMissingArtifact) {
+		t.Errorf("empty dir: err=%v, want ErrMissingArtifact", err)
+	}
+}
+
+// copyDataset duplicates a written dataset byte for byte.
+func copyDataset(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRoundTripDeterminism: the same simulation seed and the same
+// corruption seed must yield byte-identical quarantine logs and reports
+// across two independent runs.
+func TestRoundTripDeterminism(t *testing.T) {
+	src, res := writeTiny(t)
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var quarantines, reports [2]bytes.Buffer
+	for i, dir := range dirs {
+		copyDataset(t, src, dir)
+		if _, err := ingest.CorruptDataset(dir, ingest.CorruptOptions{Rate: 0.05, Seed: 23}); err != nil {
+			t.Fatal(err)
+		}
+		got, health, err := LoadResilient(dir, res.Config, ingest.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := health.WriteQuarantineLog(&quarantines[i]); err != nil {
+			t.Fatal(err)
+		}
+		core.FromIngest(got, health).WriteReport(&reports[i])
+	}
+	if !bytes.Equal(quarantines[0].Bytes(), quarantines[1].Bytes()) {
+		t.Error("quarantine logs differ between identically-seeded runs")
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[1].Bytes()) {
+		t.Error("reports differ between identically-seeded runs")
+	}
+	if quarantines[0].Len() == 0 {
+		t.Error("corruption at rate 0.05 produced an empty quarantine log")
+	}
+}
+
+// TestCorruptedLoadIntactRecords: under injected corruption every event
+// the resilient loader emits corresponds to a record the clean dataset
+// really contains — recovery never fabricates findings — and the
+// quarantine accounting is exact for every artifact.
+func TestCorruptedLoadIntactRecords(t *testing.T) {
+	src, res := writeTiny(t)
+	clean, err := Load(src, res.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[string]bool, len(clean.Events))
+	for _, e := range clean.Events {
+		known[eventKey(e)] = true
+	}
+
+	dir := t.TempDir()
+	copyDataset(t, src, dir)
+	if _, err := ingest.CorruptDataset(dir, ingest.CorruptOptions{Rate: 0.05, Seed: 41}); err != nil {
+		t.Fatal(err)
+	}
+	got, health, err := LoadResilient(dir, res.Config, ingest.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range health.Artifacts {
+		if a.Missing {
+			continue
+		}
+		if a.Read != a.Accepted+a.Recovered+a.Quarantined {
+			t.Errorf("%s: accounting broken: read %d != accepted %d + recovered %d + quarantined %d",
+				a.Name, a.Read, a.Accepted, a.Recovered, a.Quarantined)
+		}
+	}
+	ch := health.Artifact(ConsoleFile)
+	if ch == nil || ch.Quarantined == 0 || ch.Recovered == 0 {
+		t.Fatalf("corruption at rate 0.05 exercised no recovery: %+v", ch)
+	}
+	fabricated := 0
+	for _, e := range got.Events {
+		if !known[eventKey(e)] {
+			fabricated++
+			if fabricated <= 3 {
+				t.Errorf("fabricated event not present in clean dataset: %s", e.Raw())
+			}
+		}
+	}
+	if fabricated > 3 {
+		t.Errorf("... and %d more fabricated events", fabricated-3)
+	}
+	if len(got.Events) == 0 || float64(len(got.Events)) < 0.8*float64(len(clean.Events)) {
+		t.Errorf("recovery kept only %d of %d events", len(got.Events), len(clean.Events))
+	}
+}
+
+// eventKey identifies an event by the fields no mutation can silently
+// rewrite (a truncation can drop trailing annotations of a record that
+// still parses, but it cannot alter the timestamp, node, or code without
+// the parser rejecting the line).
+func eventKey(e console.Event) string {
+	return fmt.Sprintf("%d|%v|%d", e.Time.Unix(), e.Node, int(e.Code))
+}

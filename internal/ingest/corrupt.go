@@ -1,0 +1,285 @@
+package ingest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The corruption injector mutates a written dataset the way real console
+// feeds break in the field: truncated lines, torn and interleaved writes,
+// duplicated lines, out-of-order arrival, garbled key=value annotations,
+// CRLF/encoding junk, and missing or partially-written artifact files.
+// It is fully deterministic for a given (Rate, Seed) pair — each artifact
+// gets its own rng stream keyed by file name, so two runs over identical
+// datasets produce byte-identical corrupted datasets.
+
+// artifactNames mirrors the dataset package's artifact file names.
+// (Spelled here rather than imported to keep ingest free of a dataset
+// dependency — dataset imports ingest for its resilient loader.)
+var artifactNames = []string{"console.log", "jobs.tsv", "samples.tsv", "snapshot.tsv"}
+
+// auxiliary artifacts that the missing-file mutation may delete outright;
+// the console and job logs are never removed so a corrupted dataset stays
+// analyzable end to end.
+var removableArtifacts = map[string]bool{"samples.tsv": true, "snapshot.tsv": true}
+
+// Corruption mutation names, used in injection reports.
+const (
+	MutTruncate   = "truncate-line"
+	MutTear       = "torn-write"
+	MutInterleave = "interleaved-write"
+	MutDuplicate  = "duplicate-line"
+	MutReorder    = "out-of-order"
+	MutGarble     = "garbled-annotation"
+	MutJunk       = "encoding-junk"
+	MutMissing    = "missing-artifact"
+	MutPartial    = "partial-write"
+)
+
+// lineMutations is the per-line mutation menu, in fixed pick order.
+var lineMutations = []string{
+	MutTruncate, MutTear, MutInterleave, MutDuplicate, MutReorder, MutGarble, MutJunk,
+}
+
+// CorruptOptions configures the injector.
+type CorruptOptions struct {
+	// Rate is the per-line mutation probability in [0,1]. Zero disables
+	// the injector entirely (the dataset is left untouched).
+	Rate float64
+	// Seed drives every random draw.
+	Seed int64
+}
+
+// CorruptReport tallies what the injector did.
+type CorruptReport struct {
+	Files      map[string]int // per-artifact mutation counts
+	Categories map[string]int // per-mutation-kind counts
+	Missing    []string       // artifacts deleted outright
+	Partial    []string       // artifacts with a torn-off tail
+}
+
+// WriteSummary prints the tally in deterministic order.
+func (r *CorruptReport) WriteSummary(w io.Writer) {
+	total := 0
+	for _, n := range r.Categories {
+		total += n
+	}
+	fmt.Fprintf(w, "injected %d mutations\n", total)
+	cats := make([]string, 0, len(r.Categories))
+	for c := range r.Categories {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Fprintf(w, "  %-20s %d\n", c, r.Categories[c])
+	}
+	for _, f := range r.Missing {
+		fmt.Fprintf(w, "  removed %s\n", f)
+	}
+	for _, f := range r.Partial {
+		fmt.Fprintf(w, "  tore tail off %s\n", f)
+	}
+}
+
+func (r *CorruptReport) count(file, mutation string) {
+	r.Files[file]++
+	r.Categories[mutation]++
+}
+
+// kvValueRe locates console key=value annotations for the garble
+// mutation; the replacement garbles only the value so the symptom is a
+// detectably-bad annotation rather than a silently vanished one.
+var kvValueRe = regexp.MustCompile(`(serial|job|unit|page)=([A-Za-z0-9-]+)`)
+
+// garbleValues are alphanumeric (so the annotation still scans as a
+// key=value pair) but decode as neither integers nor unit tokens.
+var garbleValues = []string{"zz9q", "x0x0x", "9q9z", "qq-1q"}
+
+// junkBytes are bytes stripJunk removes: control characters and invalid
+// UTF-8 sequences a lossy collection hop smears into lines.
+var junkBytes = []string{"\x00", "\x01\x02", "\xff\xfe", "\x07", "\x1b[0m\x00"}
+
+// CorruptDataset mutates the artifacts of a dataset directory in place.
+// Only files that exist are touched; a zero rate is a no-op.
+func CorruptDataset(dir string, opts CorruptOptions) (*CorruptReport, error) {
+	rep := &CorruptReport{Files: map[string]int{}, Categories: map[string]int{}}
+	if opts.Rate <= 0 {
+		return rep, nil
+	}
+	if opts.Rate > 1 {
+		opts.Rate = 1
+	}
+	for _, name := range artifactNames {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return rep, fmt.Errorf("ingest: corrupting %s: %w", name, err)
+		}
+		rng := rand.New(rand.NewSource(opts.Seed ^ fileSeed(name)))
+
+		// File-level fates are drawn first so line draws stay aligned.
+		missing := removableArtifacts[name] && rng.Float64() < opts.Rate/5
+		partial := rng.Float64() < opts.Rate/5
+
+		if missing {
+			if err := os.Remove(path); err != nil {
+				return rep, fmt.Errorf("ingest: corrupting %s: %w", name, err)
+			}
+			rep.count(name, MutMissing)
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+
+		lines := strings.Split(string(data), "\n")
+		if n := len(lines); n > 0 && lines[n-1] == "" {
+			lines = lines[:n-1]
+		}
+		out := corruptLines(lines, rng, opts.Rate, rep, name)
+
+		var b strings.Builder
+		for i, line := range out {
+			if partial && i == len(out)-1 && len(line) > 2 {
+				// Partially-written final record: torn mid-line, no
+				// trailing newline — the classic crashed-collector tail.
+				b.WriteString(line[:1+rng.Intn(len(line)-1)])
+				rep.count(name, MutPartial)
+				rep.Partial = append(rep.Partial, name)
+				break
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return rep, fmt.Errorf("ingest: corrupting %s: %w", name, err)
+		}
+	}
+	return rep, nil
+}
+
+func fileSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// corruptLines applies per-line mutations, assembling the output stream
+// with the delayed emissions that model interleaved and out-of-order
+// writes.
+func corruptLines(lines []string, rng *rand.Rand, rate float64, rep *CorruptReport, file string) []string {
+	type delayed struct {
+		text string
+		due  int // source index before which to emit
+	}
+	out := make([]string, 0, len(lines)+8)
+	var delays []delayed
+	flush := func(i int) {
+		for j := 0; j < len(delays); {
+			if delays[j].due <= i {
+				out = append(out, delays[j].text)
+				delays = append(delays[:j], delays[j+1:]...)
+			} else {
+				j++
+			}
+		}
+	}
+	for i, line := range lines {
+		flush(i)
+		if rng.Float64() >= rate || len(line) < 8 {
+			out = append(out, line)
+			continue
+		}
+		mut := lineMutations[rng.Intn(len(lineMutations))]
+		if mut == MutGarble && !kvValueRe.MatchString(line) {
+			// TSV rows have no key=value annotations: garble a field.
+			if g, ok := garbleField(line, rng); ok {
+				out = append(out, g)
+				rep.count(file, MutGarble)
+				continue
+			}
+			mut = MutTear
+		}
+		switch mut {
+		case MutTruncate:
+			out = append(out, line[:2+rng.Intn(len(line)-4)])
+		case MutTear:
+			k := 2 + rng.Intn(len(line)-4)
+			out = append(out, line[:k], line[k:])
+		case MutInterleave:
+			k := 2 + rng.Intn(len(line)-4)
+			out = append(out, line[:k])
+			delays = append(delays, delayed{text: line[k:], due: i + 2})
+		case MutDuplicate:
+			out = append(out, line, line)
+		case MutReorder:
+			delays = append(delays, delayed{text: line, due: i + 2 + rng.Intn(3)})
+		case MutGarble:
+			out = append(out, garbleAnnotation(line, rng))
+		case MutJunk:
+			out = append(out, junkLine(line, rng))
+			if rng.Float64() < 0.3 {
+				out = append(out, noiseLine(rng))
+				rep.count(file, MutJunk)
+			}
+		}
+		rep.count(file, mut)
+	}
+	flush(len(lines) + 16)
+	for _, d := range delays {
+		out = append(out, d.text)
+	}
+	return out
+}
+
+// garbleAnnotation mangles the value of one key=value annotation.
+func garbleAnnotation(line string, rng *rand.Rand) string {
+	locs := kvValueRe.FindAllStringSubmatchIndex(line, -1)
+	m := locs[rng.Intn(len(locs))]
+	// m[4]:m[5] is the value group.
+	return line[:m[4]] + garbleValues[rng.Intn(len(garbleValues))] + line[m[5]:]
+}
+
+// garbleField replaces one tab-separated field with junk.
+func garbleField(line string, rng *rand.Rand) (string, bool) {
+	fields := strings.Split(line, "\t")
+	if len(fields) < 2 {
+		return "", false
+	}
+	fields[rng.Intn(len(fields))] = garbleValues[rng.Intn(len(garbleValues))]
+	return strings.Join(fields, "\t"), true
+}
+
+// junkLine smears encoding junk into a line: a CR tail, junk bytes at a
+// random offset, or both.
+func junkLine(line string, rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return line + "\r"
+	case 1:
+		p := rng.Intn(len(line))
+		return line[:p] + junkBytes[rng.Intn(len(junkBytes))] + line[p:]
+	default:
+		p := rng.Intn(len(line))
+		return line[:p] + junkBytes[rng.Intn(len(junkBytes))] + line[p:] + "\r"
+	}
+}
+
+// noiseLine is a burst of binary garbage, the way a ring buffer tears.
+func noiseLine(rng *rand.Rand) string {
+	n := 5 + rng.Intn(16)
+	var b strings.Builder
+	alphabet := "abcdefghijklmnopqrstuvwxyz \x00\x01\x07\x1b\x80\xfe\xff"
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFakeDataset lays down the four artifacts with enough lines for the
+// injector to chew on. Content needn't parse — the injector mutates bytes.
+func writeFakeDataset(t *testing.T, dir string) {
+	t.Helper()
+	for _, name := range artifactNames {
+		var b strings.Builder
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&b, "%s line %02d with serial=1234 job=42 padding padding\n", name, i)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readDataset(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range artifactNames {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = string(data)
+	}
+	return out
+}
+
+func TestCorruptZeroRateIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	writeFakeDataset(t, dir)
+	before := readDataset(t, dir)
+	rep, err := CorruptDataset(dir, CorruptOptions{Rate: 0, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Categories) != 0 {
+		t.Errorf("zero rate injected mutations: %+v", rep.Categories)
+	}
+	after := readDataset(t, dir)
+	for name, want := range before {
+		if after[name] != want {
+			t.Errorf("%s changed under zero rate", name)
+		}
+	}
+}
+
+func TestCorruptDeterminism(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var got [2]map[string]string
+	var reps [2]*CorruptReport
+	for i, dir := range dirs {
+		writeFakeDataset(t, dir)
+		rep, err := CorruptDataset(dir, CorruptOptions{Rate: 0.2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = readDataset(t, dir)
+		reps[i] = rep
+	}
+	if len(got[0]) != len(got[1]) {
+		t.Fatalf("runs removed different artifacts: %d vs %d files", len(got[0]), len(got[1]))
+	}
+	for name, want := range got[0] {
+		if got[1][name] != want {
+			t.Errorf("%s differs between identically-seeded runs", name)
+		}
+	}
+	for cat, n := range reps[0].Categories {
+		if reps[1].Categories[cat] != n {
+			t.Errorf("mutation tally %s differs: %d vs %d", cat, n, reps[1].Categories[cat])
+		}
+	}
+}
+
+func TestCorruptSeedsDiffer(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var got [2]map[string]string
+	for i, dir := range dirs {
+		writeFakeDataset(t, dir)
+		if _, err := CorruptDataset(dir, CorruptOptions{Rate: 0.2, Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		got[i] = readDataset(t, dir)
+	}
+	same := true
+	for name, want := range got[0] {
+		if got[1][name] != want {
+			same = false
+		}
+	}
+	if same && len(got[0]) == len(got[1]) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestCorruptActuallyMutates(t *testing.T) {
+	dir := t.TempDir()
+	writeFakeDataset(t, dir)
+	before := readDataset(t, dir)
+	rep, err := CorruptDataset(dir, CorruptOptions{Rate: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range rep.Categories {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("rate 0.3 injected nothing")
+	}
+	after := readDataset(t, dir)
+	changed := false
+	for name, want := range before {
+		if after[name] != want {
+			changed = true
+		}
+	}
+	if !changed && len(after) == len(before) {
+		t.Error("injector reported mutations but no artifact changed")
+	}
+	// The console and job logs must never be removed outright.
+	for _, name := range []string{"console.log", "jobs.tsv"} {
+		if _, ok := after[name]; !ok {
+			t.Errorf("%s was removed; only samples/snapshot may go missing", name)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+	"unicode/utf8"
+
+	"titanre/internal/console"
+)
+
+// The mender is the recovering line reader shared by the console and TSV
+// ingest paths. It isolates errors per line, stitches torn records back
+// together within a bounded resync window, drops adjacent duplicate
+// writes, strips encoding junk, and dead-letters everything else with a
+// categorized reason. Every physical line lands in exactly one of the
+// accepted / recovered / quarantined buckets.
+
+// mendKind is the classifier's opinion of one (already junk-stripped)
+// line.
+type mendKind int
+
+const (
+	mendOK           mendKind = iota // a valid record — keep it
+	mendOKTorn                       // valid record, but shaped like a torn head; prefer the rejoin
+	mendIgnore                       // valid but not a record (comment, chatter)
+	mendHead                         // invalid alone; plausible torn head
+	mendHeadOrIgnore                 // valid as ignorable chatter, but shaped like a torn head
+	mendFrag                         // invalid alone; plausible torn continuation
+	mendHeadOrFrag                   // continuation if a tear is open, head otherwise
+	mendReject                       // quarantine
+)
+
+type frag struct {
+	line     int
+	text     string
+	repaired bool
+}
+
+type mender struct {
+	classify func(string) (mendKind, Category)
+	opts     Options
+	h        *ArtifactHealth
+
+	out          []string // kept record lines, in stream order
+	outRecovered []bool   // whether each kept line needed repair
+
+	pending       []frag // open torn-record fragments
+	pendingIgnore bool   // first fragment is valid chatter on its own
+	pendingEmit   bool   // first fragment is a valid (degraded) record on its own
+	pendingAge    int
+
+	prevRaw  string
+	havePrev bool
+	lineNo   int
+}
+
+func newMender(classify func(string) (mendKind, Category), opts Options, h *ArtifactHealth) *mender {
+	return &mender{classify: classify, opts: opts, h: h}
+}
+
+func (m *mender) feed(raw string) {
+	m.lineNo++
+	m.h.Read++
+
+	// Adjacent exact duplicates are the signature of a retried write;
+	// the information survives in the first copy.
+	if m.havePrev && raw == m.prevRaw && raw != "" {
+		m.h.recover(RecDuplicate, 1)
+		m.agePending()
+		return
+	}
+	m.prevRaw, m.havePrev = raw, true
+
+	line := stripJunk(raw)
+	repaired := line != raw
+	if strings.TrimSpace(line) == "" {
+		m.h.Accepted++
+		m.agePending()
+		return
+	}
+
+	kind, cat := m.classify(line)
+	f := frag{line: m.lineNo, text: line, repaired: repaired}
+	switch kind {
+	case mendOK:
+		m.accept(line, repaired)
+		m.agePending()
+	case mendOKTorn:
+		m.startPending(f, false)
+		m.pendingEmit = true
+	case mendIgnore:
+		if repaired {
+			m.h.recover(RecStripped, 1)
+		} else {
+			m.h.Accepted++
+		}
+		m.agePending()
+	case mendHead:
+		m.startPending(f, false)
+	case mendHeadOrIgnore:
+		m.startPending(f, true)
+	case mendFrag:
+		m.joinPending(f, cat)
+	case mendHeadOrFrag:
+		if len(m.pending) > 0 {
+			m.joinPending(f, cat)
+		} else {
+			m.startPending(f, false)
+		}
+	case mendReject:
+		m.h.quarantine(m.lineNo, cat, line, m.opts.QuarantineDetail)
+		m.agePending()
+	}
+}
+
+// accept books a cleanly parsed (or junk-stripped) record line.
+func (m *mender) accept(line string, repaired bool) {
+	if repaired {
+		m.h.recover(RecStripped, 1)
+	} else {
+		m.h.Accepted++
+	}
+	m.out = append(m.out, line)
+	m.outRecovered = append(m.outRecovered, repaired)
+}
+
+func (m *mender) startPending(f frag, ignorable bool) {
+	m.flushPending()
+	m.pending = []frag{f}
+	m.pendingIgnore = ignorable
+	m.pendingEmit = false
+	m.pendingAge = 0
+}
+
+func (m *mender) joinPending(f frag, orphanCat Category) {
+	if len(m.pending) == 0 {
+		m.h.quarantine(f.line, orphanCat, f.text, m.opts.QuarantineDetail)
+		return
+	}
+	m.pending = append(m.pending, f)
+	var b strings.Builder
+	for _, p := range m.pending {
+		b.WriteString(p.text)
+	}
+	joined := b.String()
+	if kind, _ := m.classify(joined); kind == mendOK {
+		m.h.recover(RecRejoined, len(m.pending))
+		m.out = append(m.out, joined)
+		m.outRecovered = append(m.outRecovered, true)
+		m.pending = nil
+		m.pendingIgnore = false
+		m.pendingEmit = false
+		return
+	}
+	if len(m.pending) >= m.opts.MaxFragments {
+		m.flushPending()
+	}
+}
+
+// agePending expires an open tear once too many unrelated lines have
+// passed — the torn tail is not coming.
+func (m *mender) agePending() {
+	if len(m.pending) == 0 {
+		return
+	}
+	m.pendingAge++
+	if m.pendingAge > m.opts.ResyncWindow {
+		m.flushPending()
+	}
+}
+
+// flushPending resolves an open tear that never completed. A head that
+// was valid chatter on its own falls back to accepted; a head that was a
+// valid (if annotation-starved) record is emitted as a degraded record;
+// everything else is quarantined as a torn fragment.
+func (m *mender) flushPending() {
+	if len(m.pending) == 0 {
+		return
+	}
+	rest := m.pending
+	switch {
+	case m.pendingIgnore:
+		if rest[0].repaired {
+			m.h.recover(RecStripped, 1)
+		} else {
+			m.h.Accepted++
+		}
+		rest = rest[1:]
+	case m.pendingEmit:
+		m.h.recover(RecTornHead, 1)
+		m.out = append(m.out, rest[0].text)
+		m.outRecovered = append(m.outRecovered, true)
+		rest = rest[1:]
+	}
+	for _, f := range rest {
+		m.h.quarantine(f.line, CatTorn, f.text, m.opts.QuarantineDetail)
+	}
+	m.pending = nil
+	m.pendingIgnore = false
+	m.pendingEmit = false
+}
+
+func (m *mender) close() { m.flushPending() }
+
+// run scans r through the mender. An I/O error mid-stream is returned
+// alongside whatever was salvaged before it.
+func (m *mender) run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		m.feed(sc.Text())
+	}
+	m.close()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ingest: reading %s: %w", m.h.Name, err)
+	}
+	return nil
+}
+
+// stripJunk removes bytes a log line can never legitimately contain:
+// carriage returns, NUL and other control bytes (tab excepted), and
+// invalid UTF-8 sequences. Clean lines are returned unchanged (and
+// unallocated).
+func stripJunk(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if (b < 0x20 && b != '\t') || b == 0x7f || b >= utf8.RuneSelf {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			i++ // invalid byte
+			continue
+		}
+		if (r < 0x20 && r != '\t') || r == 0x7f {
+			i += size
+			continue
+		}
+		b.WriteRune(r)
+		i += size
+	}
+	return b.String()
+}
+
+// chatterLooksTorn guesses whether an unmatched-but-well-formed console
+// line is really the head of a torn event record rather than benign
+// chatter: driver messages end with a period or carry trailing key=value
+// annotations, torn heads end mid-token.
+func chatterLooksTorn(line string) bool {
+	if strings.HasSuffix(line, ".") {
+		return false
+	}
+	if strings.Contains(line, "serial=") || strings.Contains(line, "job=") {
+		return false
+	}
+	return true
+}
+
+// consoleClassify adapts the SEC correlator's verdicts to mender kinds.
+func consoleClassify(c *console.Correlator) func(string) (mendKind, Category) {
+	return func(line string) (mendKind, Category) {
+		_, v := c.Classify(line)
+		switch v {
+		case console.VerdictEvent:
+			// Rendered records always carry serial= and job= annotations;
+			// an event line without both is almost certainly the head of
+			// a torn write whose tail took the annotations with it. Hold
+			// it for rejoin, emit it as a degraded record otherwise.
+			if !strings.Contains(line, "serial=") || !strings.Contains(line, "job=") {
+				return mendOKTorn, ""
+			}
+			return mendOK, ""
+		case console.VerdictChatter:
+			if chatterLooksTorn(line) {
+				return mendHead, ""
+			}
+			return mendHeadOrIgnore, ""
+		case console.VerdictNoHeader:
+			if strings.HasPrefix(line, "[") {
+				return mendHead, CatNoHeader
+			}
+			return mendFrag, CatNoHeader
+		case console.VerdictBadTime:
+			return mendReject, CatBadTime
+		case console.VerdictBadNode:
+			return mendReject, CatBadNode
+		case console.VerdictCodeMismatch:
+			return mendReject, CatCodeMismatch
+		case console.VerdictBadAnnotation:
+			return mendReject, CatBadAnnotation
+		}
+		return mendReject, CatEncodingJunk
+	}
+}
+
+// IngestConsole reads a console log through the recovering parser: every
+// line that can be classified (directly, after junk-stripping, or after
+// rejoining torn fragments) becomes an event; everything else is
+// quarantined with a reason. If timestamps arrive out of order the
+// stream is re-sorted (stable, by time only) and the displaced records
+// are booked as recovered. An I/O error is returned alongside whatever
+// was salvaged first.
+func IngestConsole(r io.Reader, c *console.Correlator, opts Options) ([]console.Event, *ArtifactHealth, error) {
+	opts = opts.withDefaults()
+	h := newArtifactHealth("console.log")
+	m := newMender(consoleClassify(c), opts, h)
+	err := m.run(r)
+
+	events := make([]console.Event, 0, len(m.out))
+	recs := make([]bool, 0, len(m.out))
+	for i, text := range m.out {
+		ev, v := c.Classify(text)
+		if v != console.VerdictEvent {
+			// Cannot happen: kept lines classified as records.
+			continue
+		}
+		events = append(events, ev)
+		recs = append(recs, m.outRecovered[i])
+	}
+	repairOrder(events, recs, h)
+	return events, h, err
+}
+
+// repairOrder re-sorts a stream whose timestamps regressed (clock skew,
+// out-of-order arrival). Clean streams pass untouched, so the clean path
+// stays byte-identical to the fail-fast loader.
+func repairOrder(events []console.Event, recovered []bool, h *ArtifactHealth) {
+	var max time.Time
+	displaced := 0
+	for i, e := range events {
+		if i > 0 && e.Time.Before(max) {
+			displaced++
+			if !recovered[i] {
+				// Move this line's booking from accepted to recovered.
+				h.Accepted--
+				h.recover(RecReordered, 1)
+			}
+		}
+		if e.Time.After(max) {
+			max = e.Time
+		}
+	}
+	if displaced > 0 {
+		sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	}
+}
+
+// Retry runs fn up to attempts times, sleeping backoff*n between tries.
+// fn signals an unretryable failure by returning stop=true.
+func Retry(attempts int, backoff time.Duration, fn func() (stop bool, err error)) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff * time.Duration(i))
+		}
+		var stop bool
+		stop, err = fn()
+		if err == nil || stop {
+			return err
+		}
+	}
+	return err
+}
+
+// OpenWithRetry opens an artifact file, retrying transient failures with
+// backoff. Missing files and permission errors are permanent and
+// returned immediately.
+func OpenWithRetry(path string, opts Options) (*os.File, error) {
+	opts = opts.withDefaults()
+	var f *os.File
+	err := Retry(opts.RetryAttempts, opts.RetryBackoff, func() (bool, error) {
+		var e error
+		f, e = os.Open(path)
+		if e == nil {
+			return true, nil
+		}
+		if errors.Is(e, os.ErrNotExist) || errors.Is(e, os.ErrPermission) {
+			return true, e
+		}
+		return false, e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"io"
+	"strings"
+
+	"titanre/internal/nvsmi"
+	"titanre/internal/scheduler"
+)
+
+// TSV ingestion: the job log, per-job samples, and the machine snapshot
+// go through the same mender as the console log. A row that fails
+// validation but is short on fields is held as a torn-write candidate and
+// rejoined with its continuation when it shows up; garbled full-width
+// rows are quarantined.
+
+// tsvClassify builds a mender classifier from a per-line validator.
+// wantFields is the column count of a full row; failing rows with at
+// most that many fields are treated as torn-fragment candidates.
+func tsvClassify(wantFields int, valid func(string) error) func(string) (mendKind, Category) {
+	return func(line string) (mendKind, Category) {
+		if strings.HasPrefix(line, "#") {
+			return mendIgnore, ""
+		}
+		if valid(line) == nil {
+			return mendOK, ""
+		}
+		if strings.Count(line, "\t") <= wantFields-1 {
+			return mendHeadOrFrag, CatBadRow
+		}
+		return mendReject, CatBadRow
+	}
+}
+
+// IngestJobLog reads a TSV job log through the recovering parser.
+func IngestJobLog(r io.Reader, opts Options) ([]scheduler.Record, *ArtifactHealth, error) {
+	opts = opts.withDefaults()
+	h := newArtifactHealth("jobs.tsv")
+	valid := func(line string) error {
+		_, err := scheduler.ParseJobLine(line)
+		return err
+	}
+	m := newMender(tsvClassify(scheduler.JobLogFields, valid), opts, h)
+	err := m.run(r)
+	recs := make([]scheduler.Record, 0, len(m.out))
+	for _, line := range m.out {
+		if rec, perr := scheduler.ParseJobLine(line); perr == nil {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, h, err
+}
+
+// IngestSamples reads the per-job samples file through the recovering
+// parser.
+func IngestSamples(r io.Reader, opts Options) ([]nvsmi.JobSample, *ArtifactHealth, error) {
+	opts = opts.withDefaults()
+	h := newArtifactHealth("samples.tsv")
+	valid := func(line string) error {
+		_, err := nvsmi.ParseSampleLine(line)
+		return err
+	}
+	m := newMender(tsvClassify(nvsmi.SampleFields, valid), opts, h)
+	err := m.run(r)
+	out := make([]nvsmi.JobSample, 0, len(m.out))
+	for _, line := range m.out {
+		if s, perr := nvsmi.ParseSampleLine(line); perr == nil {
+			out = append(out, s)
+		}
+	}
+	return out, h, err
+}
+
+// IngestSnapshot reads the machine sweep through the recovering parser.
+// The sweep-time header is validated like a record: a garbled header
+// loses the sweep time (degraded) without failing the load.
+func IngestSnapshot(r io.Reader, opts Options) (nvsmi.Snapshot, *ArtifactHealth, error) {
+	opts = opts.withDefaults()
+	h := newArtifactHealth("snapshot.tsv")
+	classify := func(line string) (mendKind, Category) {
+		if strings.HasPrefix(line, nvsmi.SweepHeaderPrefix) {
+			if _, err := nvsmi.ParseSweepHeader(line); err == nil {
+				return mendOK, ""
+			}
+			return mendReject, CatBadRow
+		}
+		if strings.HasPrefix(line, "#") {
+			return mendIgnore, ""
+		}
+		if _, err := nvsmi.ParseSnapshotLine(line); err == nil {
+			return mendOK, ""
+		}
+		if strings.Count(line, "\t") <= nvsmi.SnapshotFields-1 {
+			return mendHeadOrFrag, CatBadRow
+		}
+		return mendReject, CatBadRow
+	}
+	m := newMender(classify, opts, h)
+	err := m.run(r)
+	var snap nvsmi.Snapshot
+	for _, line := range m.out {
+		if strings.HasPrefix(line, nvsmi.SweepHeaderPrefix) {
+			if ts, perr := nvsmi.ParseSweepHeader(line); perr == nil {
+				snap.Time = ts
+			}
+			continue
+		}
+		if d, perr := nvsmi.ParseSnapshotLine(line); perr == nil {
+			snap.Devices = append(snap.Devices, d)
+		}
+	}
+	return snap, h, err
+}

@@ -44,6 +44,54 @@ func WriteSnapshot(w io.Writer, s Snapshot) error {
 	return bw.Flush()
 }
 
+// SweepHeaderPrefix starts the snapshot's sweep-time header line.
+const SweepHeaderPrefix = "#nvidia-smi sweep "
+
+// SnapshotFields is the column count of one snapshot device row.
+const SnapshotFields = 6
+
+// ParseSweepHeader decodes the sweep-time header line of a snapshot.
+func ParseSweepHeader(line string) (time.Time, error) {
+	ts, err := time.Parse(time.RFC3339, strings.TrimPrefix(line, SweepHeaderPrefix))
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad sweep time: %w", err)
+	}
+	return ts, nil
+}
+
+// ParseSnapshotLine decodes one device row of a snapshot. Comment and
+// blank lines are the caller's concern.
+func ParseSnapshotLine(line string) (Device, error) {
+	var d Device
+	fields := strings.Split(line, "\t")
+	if len(fields) != SnapshotFields {
+		return d, fmt.Errorf("%d fields, want %d", len(fields), SnapshotFields)
+	}
+	node, err := topology.ParseNodeID(fields[0])
+	if err != nil {
+		return d, err
+	}
+	d.Node = node
+	serial, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return d, fmt.Errorf("bad serial: %w", err)
+	}
+	d.Serial = gpu.Serial(serial)
+	if d.RetiredPages, err = strconv.Atoi(fields[2]); err != nil {
+		return d, fmt.Errorf("bad retired pages: %w", err)
+	}
+	if d.TempF, err = strconv.ParseFloat(fields[3], 64); err != nil {
+		return d, fmt.Errorf("bad temperature: %w", err)
+	}
+	if err := parseCountVector(fields[4], &d.Counts, false); err != nil {
+		return d, err
+	}
+	if err := parseCountVector(fields[5], &d.Counts, true); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
 // ReadSnapshot parses the output of WriteSnapshot.
 func ReadSnapshot(r io.Reader) (Snapshot, error) {
 	var snap Snapshot
@@ -56,10 +104,10 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 		if line == "" {
 			continue
 		}
-		if strings.HasPrefix(line, "#nvidia-smi sweep ") {
-			ts, err := time.Parse(time.RFC3339, strings.TrimPrefix(line, "#nvidia-smi sweep "))
+		if strings.HasPrefix(line, SweepHeaderPrefix) {
+			ts, err := ParseSweepHeader(line)
 			if err != nil {
-				return snap, fmt.Errorf("nvsmi: line %d: bad sweep time: %w", lineNo, err)
+				return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
 			}
 			snap.Time = ts
 			continue
@@ -67,31 +115,8 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 6 {
-			return snap, fmt.Errorf("nvsmi: line %d: %d fields, want 6", lineNo, len(fields))
-		}
-		var d Device
-		node, err := topology.ParseNodeID(fields[0])
+		d, err := ParseSnapshotLine(line)
 		if err != nil {
-			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
-		}
-		d.Node = node
-		serial, err := strconv.ParseUint(fields[1], 10, 32)
-		if err != nil {
-			return snap, fmt.Errorf("nvsmi: line %d: bad serial: %w", lineNo, err)
-		}
-		d.Serial = gpu.Serial(serial)
-		if d.RetiredPages, err = strconv.Atoi(fields[2]); err != nil {
-			return snap, fmt.Errorf("nvsmi: line %d: bad retired pages: %w", lineNo, err)
-		}
-		if d.TempF, err = strconv.ParseFloat(fields[3], 64); err != nil {
-			return snap, fmt.Errorf("nvsmi: line %d: bad temperature: %w", lineNo, err)
-		}
-		if err := parseCountVector(fields[4], &d.Counts, false); err != nil {
-			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
-		}
-		if err := parseCountVector(fields[5], &d.Counts, true); err != nil {
 			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
 		}
 		snap.Devices = append(snap.Devices, d)
@@ -140,6 +165,56 @@ func WriteSamples(w io.Writer, samples []JobSample) error {
 	return bw.Flush()
 }
 
+// SampleFields is the column count of one sample row.
+const SampleFields = 8
+
+// ParseSampleLine decodes one data row of the samples file. Comment and
+// blank lines are the caller's concern.
+func ParseSampleLine(line string) (JobSample, error) {
+	var s JobSample
+	fields := strings.Split(line, "\t")
+	if len(fields) != SampleFields {
+		return s, fmt.Errorf("%d fields, want %d", len(fields), SampleFields)
+	}
+	job, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad job: %w", err)
+	}
+	s.Job = console.JobID(job)
+	user, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return s, fmt.Errorf("bad user: %w", err)
+	}
+	s.User = workload.UserID(user)
+	if s.Nodes, err = strconv.Atoi(fields[2]); err != nil {
+		return s, fmt.Errorf("bad nodes: %w", err)
+	}
+	if s.CoreHours, err = strconv.ParseFloat(fields[3], 64); err != nil {
+		return s, fmt.Errorf("bad core hours: %w", err)
+	}
+	if s.MaxMemGB, err = strconv.ParseFloat(fields[4], 64); err != nil {
+		return s, fmt.Errorf("bad max mem: %w", err)
+	}
+	if s.TotalMGBh, err = strconv.ParseFloat(fields[5], 64); err != nil {
+		return s, fmt.Errorf("bad total mem: %w", err)
+	}
+	if s.SBEDelta, err = strconv.ParseInt(fields[6], 10, 64); err != nil {
+		return s, fmt.Errorf("bad sbe: %w", err)
+	}
+	parts := strings.Split(fields[7], ",")
+	if len(parts) != len(structCols) {
+		return s, fmt.Errorf("structure vector has %d entries", len(parts))
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad structure count: %w", err)
+		}
+		s.PerStructure[structCols[i]] = v
+	}
+	return s, nil
+}
+
 // ReadSamples parses the output of WriteSamples. UsedNodes is not part of
 // the flat format (the job log carries allocations) and is left nil.
 func ReadSamples(r io.Reader) ([]JobSample, error) {
@@ -153,46 +228,9 @@ func ReadSamples(r io.Reader) ([]JobSample, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 8 {
-			return nil, fmt.Errorf("nvsmi: samples line %d: %d fields, want 8", lineNo, len(fields))
-		}
-		var s JobSample
-		job, err := strconv.ParseInt(fields[0], 10, 64)
+		s, err := ParseSampleLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad job: %w", lineNo, err)
-		}
-		s.Job = console.JobID(job)
-		user, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad user: %w", lineNo, err)
-		}
-		s.User = workload.UserID(user)
-		if s.Nodes, err = strconv.Atoi(fields[2]); err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad nodes: %w", lineNo, err)
-		}
-		if s.CoreHours, err = strconv.ParseFloat(fields[3], 64); err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad core hours: %w", lineNo, err)
-		}
-		if s.MaxMemGB, err = strconv.ParseFloat(fields[4], 64); err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad max mem: %w", lineNo, err)
-		}
-		if s.TotalMGBh, err = strconv.ParseFloat(fields[5], 64); err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad total mem: %w", lineNo, err)
-		}
-		if s.SBEDelta, err = strconv.ParseInt(fields[6], 10, 64); err != nil {
-			return nil, fmt.Errorf("nvsmi: samples line %d: bad sbe: %w", lineNo, err)
-		}
-		parts := strings.Split(fields[7], ",")
-		if len(parts) != len(structCols) {
-			return nil, fmt.Errorf("nvsmi: samples line %d: structure vector has %d entries", lineNo, len(parts))
-		}
-		for i, p := range parts {
-			v, err := strconv.ParseInt(p, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("nvsmi: samples line %d: bad structure count: %w", lineNo, err)
-			}
-			s.PerStructure[structCols[i]] = v
+			return nil, fmt.Errorf("nvsmi: samples line %d: %w", lineNo, err)
 		}
 		out = append(out, s)
 	}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"titanre/internal/ingest"
+)
+
+// IngestHealth renders the ingestion-health section of a report: the
+// per-artifact accepted/recovered/quarantined ledger, quarantine reasons,
+// overall coverage, and the degraded-mode confidence flags the study
+// derived from it. Only dirty loads print this section, so clean runs
+// stay byte-identical to the fail-fast pipeline.
+func IngestHealth(w io.Writer, h *ingest.Health, flags []ingest.ConfidenceFlag) {
+	Section(w, "Ingestion health")
+	fmt.Fprintf(w, "overall coverage: %.2f%% of read lines survived into the analysis\n", 100*h.Coverage())
+	rows := [][]string{}
+	for _, a := range h.Artifacts {
+		if a.Missing {
+			rows = append(rows, []string{a.Name, "-", "-", "-", "-", "MISSING"})
+			continue
+		}
+		rows = append(rows, []string{
+			a.Name,
+			fmt.Sprintf("%d", a.Read),
+			fmt.Sprintf("%d", a.Accepted),
+			fmt.Sprintf("%d", a.Recovered),
+			fmt.Sprintf("%d", a.Quarantined),
+			fmt.Sprintf("%.2f%%", 100*a.Coverage()),
+		})
+	}
+	Table(w, "per-artifact ledger (read = accepted + recovered + quarantined)",
+		[]string{"artifact", "read", "accepted", "recovered", "quarantined", "coverage"}, rows)
+
+	catRows := [][]string{}
+	for _, a := range h.Artifacts {
+		for _, cat := range ingest.SortedCategories(a.ByCategory) {
+			catRows = append(catRows, []string{a.Name, string(cat), fmt.Sprintf("%d", a.ByCategory[cat])})
+		}
+	}
+	if len(catRows) > 0 {
+		Table(w, "quarantine and recovery reasons", []string{"artifact", "category", "lines"}, catRows)
+	}
+
+	if len(flags) == 0 {
+		fmt.Fprintf(w, "confidence: all artifacts above coverage threshold; no analyses degraded\n")
+		return
+	}
+	for _, f := range flags {
+		fmt.Fprintf(w, "LOW CONFIDENCE: %s at %.2f%% coverage degrades %s\n",
+			f.Artifact, 100*f.Coverage, f.Affected)
+	}
+}

@@ -45,6 +45,19 @@ func WriteJobLog(w io.Writer, records []Record) error {
 	return bw.Flush()
 }
 
+// JobLogFields is the column count of one job-log row.
+const JobLogFields = 10
+
+// ParseJobLine decodes one data row of the TSV job log. Comment and
+// blank lines are the caller's concern.
+func ParseJobLine(line string) (Record, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != JobLogFields {
+		return Record{}, fmt.Errorf("%d fields, want %d", len(fields), JobLogFields)
+	}
+	return parseJobLine(fields)
+}
+
 // ReadJobLog parses a TSV job log produced by WriteJobLog.
 func ReadJobLog(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
@@ -57,11 +70,7 @@ func ReadJobLog(r io.Reader) ([]Record, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 10 {
-			return nil, fmt.Errorf("scheduler: job log line %d: %d fields, want 10", lineNo, len(fields))
-		}
-		rec, err := parseJobLine(fields)
+		rec, err := ParseJobLine(line)
 		if err != nil {
 			return nil, fmt.Errorf("scheduler: job log line %d: %w", lineNo, err)
 		}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the full local verification gate:
+#   build, vet, race-enabled tests, and a short fuzz smoke of the
+#   console parser (the recovering ingest path is built on it).
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke (FuzzParseRawLine, 5s)"
+go test ./internal/console -run '^$' -fuzz FuzzParseRawLine -fuzztime 5s
+
+echo "ok"
