@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"titanre/internal/core"
@@ -39,6 +40,7 @@ func main() {
 	data := flag.String("data", "", "analyze a dataset directory written by titansim instead of simulating")
 	strict := flag.Bool("strict", false, "fail fast on any dataset corruption instead of quarantining")
 	quarantine := flag.String("quarantine", "", "write the quarantine (dead-letter) log to this file")
+	workers := flag.Int("report-workers", runtime.GOMAXPROCS(0), "goroutines rendering report sections (output is identical at any value)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -107,7 +109,7 @@ func main() {
 		}
 		return
 	}
-	study.WriteReport(w)
+	study.WriteReportConcurrent(w, *workers)
 }
 
 func writeQuarantine(path string, health *ingest.Health) error {

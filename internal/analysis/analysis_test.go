@@ -64,6 +64,30 @@ func TestDailyCountsAndBurstiness(t *testing.T) {
 	}
 }
 
+func TestDailyCountsPartialDay(t *testing.T) {
+	// A window of 2 days + 6 hours must produce 3 buckets; an event in
+	// the trailing partial day used to be silently dropped.
+	end := t0.Add(54 * time.Hour)
+	events := []console.Event{
+		evAt(t0.Add(time.Hour), 13, 0, 1),
+		evAt(t0.Add(50*time.Hour), 13, 0, 1), // inside the partial day
+	}
+	dc := DailyCounts(events, t0, end)
+	if len(dc) != 3 {
+		t.Fatalf("days = %d, want 3 (2 whole + 1 partial)", len(dc))
+	}
+	if dc[0] != 1 || dc[1] != 0 || dc[2] != 1 {
+		t.Errorf("counts = %v, want [1 0 1]", dc)
+	}
+	if total := dc[0] + dc[1] + dc[2]; total != len(events) {
+		t.Errorf("events dropped: counted %d of %d", total, len(events))
+	}
+	// A sub-day window is one bucket, not zero.
+	if dc := DailyCounts(events[:1], t0, t0.Add(6*time.Hour)); len(dc) != 1 || dc[0] != 1 {
+		t.Errorf("sub-day window = %v, want [1]", dc)
+	}
+}
+
 func TestMTBFOf(t *testing.T) {
 	end := t0.Add(1600 * time.Hour)
 	var events []console.Event

@@ -49,9 +49,14 @@ func MonthlyCounts(events []console.Event, start, end time.Time) []MonthCount {
 }
 
 // DailyCounts buckets events per day over [start, end), used for
-// burstiness analysis of application XIDs.
+// burstiness analysis of application XIDs. A trailing partial day gets
+// its own (short) bucket so events there are counted, not dropped.
 func DailyCounts(events []console.Event, start, end time.Time) []int {
-	days := int(end.Sub(start).Hours() / 24)
+	span := end.Sub(start)
+	days := int(span.Hours() / 24)
+	if time.Duration(days)*24*time.Hour < span {
+		days++ // trailing partial day
+	}
 	if days <= 0 {
 		return nil
 	}

@@ -18,7 +18,7 @@ package console
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"titanre/internal/gpu"
@@ -69,7 +69,38 @@ func (e Event) String() string {
 		e.Time.UTC().Format(time.RFC3339), e.Location().CName(), e.Serial, e.Code, e.Job)
 }
 
-// SortEvents orders a slice by (time, node) in place.
+// Compare gives a total order over events: (time, node) first — the
+// order every analysis depends on — then code, serial, page and job so
+// that full ties cannot be reordered by an unstable sort. A total order
+// keeps sorted logs byte-identical no matter how the events were
+// produced (serial walk, parallel merge, re-parsed from disk).
+func (e Event) Compare(other Event) int {
+	if c := e.Time.Compare(other.Time); c != 0 {
+		return c
+	}
+	if e.Node != other.Node {
+		return int(e.Node) - int(other.Node)
+	}
+	if e.Code != other.Code {
+		return int(e.Code) - int(other.Code)
+	}
+	if e.Serial != other.Serial {
+		return int(e.Serial) - int(other.Serial)
+	}
+	if e.Page != other.Page {
+		return int(e.Page) - int(other.Page)
+	}
+	if e.Job != other.Job {
+		if e.Job < other.Job {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SortEvents orders a slice by (time, node) in place, with the full
+// Compare total order breaking ties deterministically.
 func SortEvents(events []Event) {
-	sort.Slice(events, func(i, j int) bool { return events[i].Before(events[j]) })
+	slices.SortFunc(events, Event.Compare)
 }

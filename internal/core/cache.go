@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"titanre/internal/analysis"
+	"titanre/internal/console"
+	"titanre/internal/filtering"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// Memoized analysis intermediates.
+//
+// Several figures share expensive inputs: the per-code event slices, the
+// merged XID 63+64 retirement series (Figs 6 and 7), and the
+// five-second-filtered incident sets (Figs 9, 10 and 12 plus the
+// observation checks). Each is built lazily, exactly once, and never
+// mutated afterwards — callers share the cached slice and must not write
+// to it. All cache paths are safe for concurrent readers, which is what
+// lets report sections render in parallel (see report.go).
+type studyCache struct {
+	indexOnce sync.Once
+	byCode    map[xid.Code][]console.Event
+	sbe       map[topology.NodeID]int64
+	top10     []topology.NodeID
+
+	retireOnce sync.Once
+	retired    []console.Event
+
+	incidentMu sync.Mutex
+	incidents  map[xid.Code][]console.Event
+}
+
+// buildIndex populates the per-code slices and the SBE offender ranking.
+func (s *Study) buildIndex() {
+	byCode := make(map[xid.Code][]console.Event)
+	for _, e := range s.Result.Events {
+		byCode[e.Code] = append(byCode[e.Code], e)
+	}
+	s.cache.byCode = byCode
+	s.cache.sbe = analysis.NodeSBECounts(s.Result.Snapshot)
+	s.cache.top10 = analysis.TopSBEOffenders(s.cache.sbe, 10)
+}
+
+func (s *Study) index() { s.cache.indexOnce.Do(s.buildIndex) }
+
+// retirementEvents merges XID 63 and 64, time-ordered. The merge is
+// computed once and shared by Figs 6 and 7 and the digest.
+func (s *Study) retirementEvents() []console.Event {
+	s.cache.retireOnce.Do(func() {
+		merged := append([]console.Event{}, s.EventsOf(xid.ECCPageRetirement)...)
+		merged = append(merged, s.EventsOf(xid.ECCPageRetirementAlt)...)
+		console.SortEvents(merged)
+		s.cache.retired = merged
+	})
+	return s.cache.retired
+}
+
+// incidentThreshold is the child-suppression window the paper's SEC rules
+// use: events of the same code within five seconds are one incident.
+const incidentThreshold = 5 * time.Second
+
+// incidents returns the five-second-filtered incident set for a code,
+// computing it at most once per code.
+func (s *Study) incidents(code xid.Code) []console.Event {
+	s.cache.incidentMu.Lock()
+	defer s.cache.incidentMu.Unlock()
+	if cached, ok := s.cache.incidents[code]; ok {
+		return cached
+	}
+	if s.cache.incidents == nil {
+		s.cache.incidents = make(map[xid.Code][]console.Event)
+	}
+	filtered := filtering.TimeThreshold(s.EventsOf(code), incidentThreshold)
+	s.cache.incidents[code] = filtered
+	return filtered
+}

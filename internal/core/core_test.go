@@ -102,6 +102,23 @@ func TestFig8Shape(t *testing.T) {
 	if rt.DBEPairsWithoutRetirement == 0 {
 		t.Error("some successive DBE pairs should lack a retirement between them")
 	}
+	// Causality: a retirement record must never precede the DBE (or, for
+	// the two-SBE path, the error draw) that triggered it. The SBE draws
+	// are applied in time order, so every measured delay is non-negative.
+	for _, d := range rt.Delays {
+		if d < 0 {
+			t.Fatalf("retirement precedes its trigger by %v", -d)
+		}
+	}
+	// Two-SBE retirements exist (Beyond6h cluster) and each one was
+	// stamped with the time of the later of its two SBEs, so none appears
+	// before the retirement-driver epoch either.
+	ret := s.Fig6MonthlyRetirement()
+	for _, m := range ret {
+		if time.Date(m.Year, m.Month, 1, 0, 0, 0, 0, time.UTC).Before(s.Config.RetirementDriver.AddDate(0, -1, 0)) && m.Count > 0 {
+			t.Errorf("retirements in %s precede the driver epoch", m.Label())
+		}
+	}
 }
 
 func TestFig12FilteringReduction(t *testing.T) {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"titanre/internal/console"
+	"titanre/internal/sim"
+)
+
+// shortStudyConfig is a three-month horizon: long enough to exercise
+// every fault process (OTB fix, driver upgrade and retirement epoch all
+// fall inside), short enough to simulate in about a second.
+func shortStudyConfig(seed int64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.End = cfg.Start.AddDate(0, 3, 0)
+	return cfg
+}
+
+// TestDigestsAcrossGOMAXPROCS is the tentpole's golden determinism
+// check at the dataset layer: the same seed must produce bit-identical
+// events, jobs and snapshot no matter the available parallelism.
+func TestDigestsAcrossGOMAXPROCS(t *testing.T) {
+	cfg := shortStudyConfig(1)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	type digests struct {
+		events, jobs, snapshot, dataset [32]byte
+	}
+	var base digests
+	for i, procs := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		res := sim.Run(cfg)
+		got := digests{
+			events:   EventsDigest(res.Events),
+			jobs:     JobsDigest(res.Jobs),
+			snapshot: SnapshotDigest(res.Snapshot),
+			dataset:  DatasetDigest(res),
+		}
+		if i == 0 {
+			base = got
+			continue
+		}
+		if got.events != base.events {
+			t.Errorf("GOMAXPROCS=%d: events digest diverged", procs)
+		}
+		if got.jobs != base.jobs {
+			t.Errorf("GOMAXPROCS=%d: jobs digest diverged", procs)
+		}
+		if got.snapshot != base.snapshot {
+			t.Errorf("GOMAXPROCS=%d: snapshot digest diverged", procs)
+		}
+		if got.dataset != base.dataset {
+			t.Errorf("GOMAXPROCS=%d: dataset digest diverged", procs)
+		}
+	}
+}
+
+// TestReportGolden compares the rendered report against a committed
+// golden file (generated at GOMAXPROCS=1) and verifies the concurrent
+// renderer assembles byte-identical output at several pool widths.
+func TestReportGolden(t *testing.T) {
+	s := FromResult(sim.Run(shortStudyConfig(1)))
+
+	var serial bytes.Buffer
+	s.WriteReport(&serial)
+
+	golden := filepath.Join("testdata", "report_seed1_3mo.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go run ./cmd/titanreport -seed 1 -months 3 > internal/core/testdata/report_seed1_3mo.golden`): %v", err)
+	}
+	if !bytes.Equal(serial.Bytes(), want) {
+		t.Fatalf("serial report differs from golden (%d vs %d bytes); regenerate the golden if the dataset intentionally changed", serial.Len(), len(want))
+	}
+
+	for _, workers := range []int{2, 4, 17, 64} {
+		var conc bytes.Buffer
+		// A fresh Study per width proves the caches fill correctly under
+		// concurrent first use, not just after a serial warm-up.
+		s2 := FromResult(s.Result)
+		s2.WriteReportConcurrent(&conc, workers)
+		if !bytes.Equal(conc.Bytes(), serial.Bytes()) {
+			t.Fatalf("concurrent report (workers=%d) differs from serial render", workers)
+		}
+	}
+}
+
+// TestDigestFunctionsDiscriminate makes sure the hashes actually depend
+// on their inputs (a digest that ignores fields would pass every
+// determinism test while verifying nothing).
+func TestDigestFunctionsDiscriminate(t *testing.T) {
+	resA := sim.Run(shortStudyConfig(1))
+	resB := sim.Run(shortStudyConfig(2))
+	if EventsDigest(resA.Events) == EventsDigest(resB.Events) {
+		t.Error("different seeds hashed to the same events digest")
+	}
+	if JobsDigest(resA.Jobs) == JobsDigest(resB.Jobs) {
+		t.Error("different seeds hashed to the same jobs digest")
+	}
+	if SnapshotDigest(resA.Snapshot) == SnapshotDigest(resB.Snapshot) {
+		t.Error("different seeds hashed to the same snapshot digest")
+	}
+	if DatasetDigest(resA) == DatasetDigest(resB) {
+		t.Error("different seeds hashed to the same dataset digest")
+	}
+
+	// Single-field sensitivity.
+	events := append([]console.Event(nil), resA.Events...)
+	events[0].Page++
+	if EventsDigest(events) == EventsDigest(resA.Events) {
+		t.Error("events digest ignores the page field")
+	}
+}

@@ -1,14 +1,20 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 	"time"
 
 	"titanre/internal/analysis"
-	"titanre/internal/filtering"
+	"titanre/internal/console"
 	"titanre/internal/gpu"
+	"titanre/internal/nvsmi"
 	"titanre/internal/report"
+	"titanre/internal/scheduler"
+	"titanre/internal/sim"
 	"titanre/internal/stats"
 	"titanre/internal/topology"
 	"titanre/internal/xid"
@@ -46,7 +52,7 @@ func (s *Study) MonthlyDigest() []MonthDigest {
 
 	appIncidents := map[int]int{}
 	for _, code := range []xid.Code{13, 31} {
-		for _, e := range filtering.TimeThreshold(s.EventsOf(code), 5*time.Second) {
+		for _, e := range s.incidents(code) {
 			appIncidents[e.Time.Year()*16+int(e.Time.Month())]++
 		}
 	}
@@ -136,4 +142,121 @@ func (s *Study) WriteMonthlyDigest(w io.Writer) {
 				mtbf.Hours(), lo.Hours(), hi.Hours(), n)
 		}
 	}
+}
+
+// ---- Dataset hash digests ----
+//
+// The digests below hash a canonical binary serialization of each
+// artifact with SHA-256. Two runs that produce the same digest produced
+// the same artifact bit for bit, which is how the determinism tests
+// compare datasets across GOMAXPROCS settings without holding both in
+// memory.
+
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (d *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(d.buf[:], v)
+	d.h.Write(d.buf[:])
+}
+
+func (d *hasher) i64(v int64)      { d.u64(uint64(v)) }
+func (d *hasher) f64(v float64)    { d.u64(uint64(int64(v * 1e9))) }
+func (d *hasher) when(t time.Time) { d.i64(t.UnixNano()) }
+
+func (d *hasher) sum() [32]byte {
+	var out [32]byte
+	d.h.Sum(out[:0])
+	return out
+}
+
+// EventsDigest hashes a console log: every field of every event, in log
+// order.
+func EventsDigest(events []console.Event) [32]byte {
+	d := newHasher()
+	d.i64(int64(len(events)))
+	for _, e := range events {
+		d.when(e.Time)
+		d.i64(int64(e.Node))
+		d.i64(int64(e.Serial))
+		d.i64(int64(e.Code))
+		d.i64(int64(e.Structure))
+		if e.StructureValid {
+			d.u64(1)
+		} else {
+			d.u64(0)
+		}
+		d.i64(int64(e.Page))
+		d.i64(int64(e.Job))
+	}
+	return d.sum()
+}
+
+// JobsDigest hashes a placement log: specs, window and node lists, in log
+// order.
+func JobsDigest(jobs []scheduler.Record) [32]byte {
+	d := newHasher()
+	d.i64(int64(len(jobs)))
+	for i := range jobs {
+		r := &jobs[i]
+		d.i64(int64(r.ID))
+		d.i64(int64(r.Spec.User))
+		d.i64(int64(r.Spec.Class))
+		d.when(r.Spec.Submit)
+		d.i64(int64(r.Spec.Runtime))
+		d.f64(r.Spec.MaxMemPerNodeGB)
+		d.f64(r.Spec.AvgMemPerNodeGB)
+		if r.Spec.Buggy {
+			d.u64(1)
+		} else {
+			d.u64(0)
+		}
+		d.when(r.Start)
+		d.when(r.End)
+		d.i64(int64(len(r.Nodes)))
+		for _, n := range r.Nodes {
+			d.i64(int64(n))
+		}
+	}
+	return d.sum()
+}
+
+// SnapshotDigest hashes a machine-wide nvidia-smi sweep: every device's
+// InfoROM counters, in sweep order.
+func SnapshotDigest(snap nvsmi.Snapshot) [32]byte {
+	d := newHasher()
+	d.when(snap.Time)
+	d.i64(int64(len(snap.Devices)))
+	for i := range snap.Devices {
+		dev := &snap.Devices[i]
+		d.i64(int64(dev.Node))
+		d.i64(int64(dev.Serial))
+		for _, c := range dev.Counts.SingleBit {
+			d.i64(c)
+		}
+		for _, c := range dev.Counts.DoubleBit {
+			d.i64(c)
+		}
+		d.i64(int64(dev.RetiredPages))
+		d.f64(dev.TempF)
+	}
+	return d.sum()
+}
+
+// DatasetDigest combines the event, job and snapshot digests plus the
+// ground-truth SBE count into one fingerprint of a simulation result.
+func DatasetDigest(res *sim.Result) [32]byte {
+	d := newHasher()
+	ev := EventsDigest(res.Events)
+	d.h.Write(ev[:])
+	jb := JobsDigest(res.Jobs)
+	d.h.Write(jb[:])
+	sn := SnapshotDigest(res.Snapshot)
+	d.h.Write(sn[:])
+	d.i64(res.TrueSBECount)
+	return d.sum()
 }

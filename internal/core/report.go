@@ -1,20 +1,86 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"sort"
-	"time"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"titanre/internal/analysis"
-	"titanre/internal/filtering"
 	"titanre/internal/gpu"
 	"titanre/internal/report"
 	"titanre/internal/xid"
 )
 
-// writeReport renders every figure in paper order.
+// reportSections lists the report in paper order. Each section renders
+// into its own writer and touches the Study only through its (safely
+// memoized, see cache.go) accessors, so sections can render concurrently
+// and still assemble into byte-identical output.
+func reportSections() []func(w io.Writer, s *Study) {
+	return []func(w io.Writer, s *Study){
+		sectionHeader,
+		sectionTables,
+		sectionFig2DBE,
+		sectionFig3DBEDetail,
+		sectionFig4and5OTB,
+		sectionFig6and7Retirement,
+		sectionFig8RetirementTiming,
+		sectionFig9DriverXIDs,
+		sectionFig10XID13,
+		sectionFig11Halts,
+		sectionFig12Filtering,
+		sectionFig13Heatmaps,
+		sectionFig14SBESkew,
+		sectionFig15SBECages,
+		sectionFig16to20Correlations,
+		sectionFig21Workload,
+		sectionObservations,
+	}
+}
+
+// writeReport renders every section in paper order, serially.
 func writeReport(w io.Writer, s *Study) {
+	for _, render := range reportSections() {
+		render(w, s)
+	}
+}
+
+// writeReportConcurrent renders the sections into per-section buffers
+// over a bounded worker pool, then writes the buffers in paper order.
+func writeReportConcurrent(w io.Writer, s *Study, workers int) {
+	sections := reportSections()
+	if workers > len(sections) {
+		workers = len(sections)
+	}
+	if workers <= 1 {
+		writeReport(w, s)
+		return
+	}
+	bufs := make([]bytes.Buffer, len(sections))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sections) {
+					return
+				}
+				sections[i](&bufs[i], s)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range bufs {
+		w.Write(bufs[i].Bytes())
+	}
+}
+
+func sectionHeader(w io.Writer, s *Study) {
 	fmt.Fprintf(w, "Titan GPU reliability study — synthetic reproduction\n")
 	fmt.Fprintf(w, "window %s .. %s, seed %d\n",
 		s.Config.Start.Format("2006-01-02"), s.Config.End.Format("2006-01-02"), s.Config.Seed)
@@ -27,8 +93,9 @@ func writeReport(w io.Writer, s *Study) {
 	if s.ingestHealth != nil && !s.ingestHealth.Clean() {
 		report.IngestHealth(w, s.ingestHealth, s.ConfidenceFlags())
 	}
+}
 
-	// Tables 1 and 2.
+func sectionTables(w io.Writer, s *Study) {
 	hwRows := [][]string{}
 	for _, info := range xid.HardwareTable() {
 		hwRows = append(hwRows, []string{info.Code.String(), info.Name})
@@ -39,8 +106,9 @@ func writeReport(w io.Writer, s *Study) {
 		swRows = append(swRows, []string{info.Code.String(), info.Name})
 	}
 	report.Table(w, "Table 2: GPU software/firmware related errors", []string{"code", "error"}, swRows)
+}
 
-	// Fig 2 and the MTBF headline.
+func sectionFig2DBE(w io.Writer, s *Study) {
 	report.MonthlyBars(w, "Fig 2: monthly double bit errors", s.Fig2MonthlyDBE())
 	if mtbf, err := s.DBEMTBF(); err == nil {
 		fmt.Fprintf(w, "DBE MTBF: %.0f hours (paper: ~160 h, one per week)\n", mtbf.Hours())
@@ -49,7 +117,9 @@ func writeReport(w io.Writer, s *Study) {
 		fmt.Fprintf(w, "DBE inter-arrival Weibull shape %.2f, KS-vs-exponential p=%.2f (shape ~1: not bursty)\n",
 			ia.Weibull.Shape, ia.KSP)
 	}
+}
 
+func sectionFig3DBEDetail(w io.Writer, s *Study) {
 	report.FloorMap(w, "Fig 3(a): DBE spatial distribution", s.Fig3aDBESpatial())
 	report.CageHistogram(w, "Fig 3(b): DBE by cage", s.Fig3bDBECages())
 
@@ -63,12 +133,14 @@ func writeReport(w io.Writer, s *Study) {
 	for st := range breakdown {
 		structures = append(structures, st)
 	}
-	sort.Slice(structures, func(i, j int) bool { return structures[i] < structures[j] })
+	slices.Sort(structures)
 	for _, st := range structures {
 		c := breakdown[st]
 		fmt.Fprintf(w, "%-22s %3d (%.0f%%)\n", st, c, 100*float64(c)/float64(total))
 	}
+}
 
+func sectionFig4and5OTB(w io.Writer, s *Study) {
 	report.MonthlyBars(w, "Fig 4: monthly off-the-bus errors", s.Fig4MonthlyOTB())
 	if when, lrt, err := analysis.RegimeChange(s.EventsOf(xid.OffTheBus), s.Config.Start, s.Config.End); err == nil {
 		fmt.Fprintf(w, "detected rate change: %s (LRT %.0f) — actual soldering fix %s\n",
@@ -77,19 +149,27 @@ func writeReport(w io.Writer, s *Study) {
 	otbGrid, otbCages := s.Fig5OTBSpatial()
 	report.FloorMap(w, "Fig 5: off-the-bus spatial distribution", otbGrid)
 	report.CageHistogram(w, "Fig 5 (cont): off-the-bus by cage", otbCages)
+}
 
+func sectionFig6and7Retirement(w io.Writer, s *Study) {
 	report.MonthlyBars(w, "Fig 6: monthly ECC page retirement records", s.Fig6MonthlyRetirement())
 	retGrid, retCages := s.Fig7RetirementSpatial()
 	report.FloorMap(w, "Fig 7: page-retirement spatial distribution", retGrid)
 	report.CageHistogram(w, "Fig 7 (cont): page retirement by cage", retCages)
+}
 
+func sectionFig8RetirementTiming(w io.Writer, s *Study) {
 	report.DelayHistogram(w, "Fig 8: page retirement following a DBE", s.Fig8RetirementTiming())
+}
 
+func sectionFig9DriverXIDs(w io.Writer, s *Study) {
+	monthly := s.Fig9DriverXIDMonthly()
 	for _, code := range []xid.Code{31, 32, 43, 44} {
-		months := s.Fig9DriverXIDMonthly()[code]
-		report.MonthlyBars(w, fmt.Sprintf("Fig 9: monthly %v incidents", code), months)
+		report.MonthlyBars(w, fmt.Sprintf("Fig 9: monthly %v incidents", code), monthly[code])
 	}
+}
 
+func sectionFig10XID13(w io.Writer, s *Study) {
 	daily13, burst := s.Fig10XID13Daily()
 	report.Sparkline(w, "Fig 10: daily XID 13 incidents (weekly buckets)", daily13)
 	total13 := 0
@@ -98,20 +178,26 @@ func writeReport(w io.Writer, s *Study) {
 	}
 	report.Section(w, "Fig 10 (cont): burstiness")
 	fmt.Fprintf(w, "incidents: %d; burstiness index (variance/mean of daily counts): %.1f\n", total13, burst)
-	if ia, err := analysis.AnalyzeInterArrivals(filtering.TimeThreshold(s.EventsOf(13), 5*time.Second)); err == nil {
+	if ia, err := analysis.AnalyzeInterArrivals(s.incidents(13)); err == nil {
 		fmt.Fprintf(w, "incident inter-arrival Weibull shape %.2f, KS-vs-exponential p=%.3f (shape < 1: clustered)\n",
 			ia.Weibull.Shape, ia.KSP)
 	}
+}
 
+func sectionFig11Halts(w io.Writer, s *Study) {
 	old59, new62 := s.Fig11MicrocontrollerHalts()
 	report.MonthlyBars(w, "Fig 11: monthly XID 59 (old driver)", old59)
 	report.MonthlyBars(w, "Fig 11 (cont): monthly XID 62 (new driver)", new62)
+}
 
+func sectionFig12Filtering(w io.Writer, s *Study) {
 	all, filtered, children := s.Fig12XID13Filtering()
 	report.FloorMap(w, "Fig 12 (top): XID 13, no filtering", all)
 	report.FloorMap(w, "Fig 12 (middle): XID 13, 5-second filtering", filtered)
 	report.FloorMap(w, "Fig 12 (bottom): XID 13 events inside the 5-second window", children)
+}
 
+func sectionFig13Heatmaps(w io.Writer, s *Study) {
 	withSame, withoutSame, codes := s.Fig13Heatmaps()
 	labels := make([]string, len(codes))
 	for i, c := range codes {
@@ -119,32 +205,42 @@ func writeReport(w io.Writer, s *Study) {
 	}
 	report.Heatmap(w, "Fig 13 (top): P(next within 300 s | prev), same-type included", labels, withSame)
 	report.Heatmap(w, "Fig 13 (bottom): same, same-type pairs excluded", labels, withoutSame)
+}
 
+func sectionFig14SBESkew(w io.Writer, s *Study) {
 	sk := s.Fig14SBESkew()
 	report.FloorMap(w, "Fig 14 (left): SBE spatial distribution, all cards", sk.All)
 	report.FloorMap(w, "Fig 14 (middle): top-10 offenders removed", sk.WithoutTop10)
 	report.FloorMap(w, "Fig 14 (right): top-50 offenders removed", sk.WithoutTop50)
 	fmt.Fprintf(w, "cards ever affected: %d (%.1f%% of system); top-10 share %.0f%%, top-50 share %.0f%%\n",
 		sk.AffectedCards, 100*sk.AffectedFraction, 100*sk.Top10Share, 100*sk.Top50Share)
+}
 
+func sectionFig15SBECages(w io.Writer, s *Study) {
 	ca := s.Fig15SBECages()
 	report.CageHistogram(w, "Fig 15: SBEs by cage, all cards", ca.All)
 	report.CageHistogram(w, "Fig 15 (cont): top-10 removed", ca.WithoutTop10)
 	report.CageHistogram(w, "Fig 15 (cont): top-50 removed", ca.WithoutTop50)
+}
 
+func sectionFig16to20Correlations(w io.Writer, s *Study) {
 	report.Correlations(w, "Figs 16-19: SBE vs resource utilization", s.Fig16to19Correlations())
 
 	uc := s.Fig20UserCorrelation()
 	report.Section(w, "Fig 20: SBE vs GPU core hours by user")
 	fmt.Fprintf(w, "users: %d; Spearman %.2f (all), %.2f (excl. top-10 offender nodes)\n",
 		uc.Users, uc.AllSpearman.Coefficient, uc.ExclSpearman.Coefficient)
+}
 
+func sectionFig21Workload(w io.Writer, s *Study) {
 	wc := s.Fig21Workload()
 	report.Section(w, "Fig 21: workload characteristics")
 	fmt.Fprintf(w, "top-memory jobs below average core-hours: %v\n", wc.TopMemJobsBelowAvgCoreHours)
 	fmt.Fprintf(w, "small job among longest wall-clock runs:  %v\n", wc.SmallJobAmongLongest)
 	fmt.Fprintf(w, "nodes vs core-hours Spearman:              %.2f\n", wc.NodesCoreHoursSpearman)
+}
 
+func sectionObservations(w io.Writer, s *Study) {
 	report.Section(w, "Observations")
 	for _, oc := range s.CheckObservations() {
 		status := "PASS"

@@ -22,14 +22,15 @@ import (
 	"titanre/internal/xid"
 )
 
-// Study binds a simulated dataset to the analysis pipeline.
+// Study binds a simulated dataset to the analysis pipeline. Analysis
+// intermediates (per-code slices, merged retirements, filtered incident
+// sets) are memoized lazily and safely for concurrent readers — see
+// cache.go — so figure accessors may be called from multiple goroutines.
 type Study struct {
 	Config sim.Config
 	Result *sim.Result
 
-	byCode map[xid.Code][]console.Event
-	sbe    map[topology.NodeID]int64
-	top10  []topology.NodeID
+	cache studyCache
 
 	// ingestHealth is the ledger of a resilient dataset load; nil when
 	// the data came from a fresh simulation or the strict loader.
@@ -39,19 +40,14 @@ type Study struct {
 	confidenceThreshold float64
 }
 
-// New runs the simulation for the given configuration and prepares the
-// analysis indices.
+// New runs the simulation for the given configuration.
 func New(cfg sim.Config) *Study {
-	s := &Study{Config: cfg, Result: sim.Run(cfg)}
-	s.index()
-	return s
+	return &Study{Config: cfg, Result: sim.Run(cfg)}
 }
 
 // FromResult wraps an existing dataset (e.g. parsed from logs on disk).
 func FromResult(res *sim.Result) *Study {
-	s := &Study{Config: res.Config, Result: res}
-	s.index()
-	return s
+	return &Study{Config: res.Config, Result: res}
 }
 
 // FromIngest wraps a dataset that came through the resilient loader,
@@ -102,30 +98,30 @@ func (s *Study) ConfidenceFlags() []ingest.ConfidenceFlag {
 	return flags
 }
 
-func (s *Study) index() {
-	s.byCode = make(map[xid.Code][]console.Event)
-	for _, e := range s.Result.Events {
-		s.byCode[e.Code] = append(s.byCode[e.Code], e)
-	}
-	s.sbe = analysis.NodeSBECounts(s.Result.Snapshot)
-	s.top10 = analysis.TopSBEOffenders(s.sbe, 10)
-}
-
 // Events returns the full console log.
 func (s *Study) Events() []console.Event { return s.Result.Events }
 
 // EventsOf returns the console events of one code.
-func (s *Study) EventsOf(code xid.Code) []console.Event { return s.byCode[code] }
+func (s *Study) EventsOf(code xid.Code) []console.Event {
+	s.index()
+	return s.cache.byCode[code]
+}
 
 // Window returns the observation window.
 func (s *Study) Window() (time.Time, time.Time) { return s.Config.Start, s.Config.End }
 
 // SBECounts returns per-node single-bit totals from the final nvidia-smi
 // sweep.
-func (s *Study) SBECounts() map[topology.NodeID]int64 { return s.sbe }
+func (s *Study) SBECounts() map[topology.NodeID]int64 {
+	s.index()
+	return s.cache.sbe
+}
 
 // Top10Offenders returns the ten worst SBE nodes.
-func (s *Study) Top10Offenders() []topology.NodeID { return s.top10 }
+func (s *Study) Top10Offenders() []topology.NodeID {
+	s.index()
+	return s.cache.top10
+}
 
 // HeatmapCodes is the XID list of the Fig. 13 axes.
 func HeatmapCodes() []xid.Code {
@@ -172,14 +168,6 @@ func (s *Study) Fig5OTBSpatial() (analysis.Grid, analysis.CageCounts) {
 	return analysis.SpatialMap(ev), analysis.CageDistribution(ev)
 }
 
-// retirementEvents merges XID 63 and 64, time-ordered.
-func (s *Study) retirementEvents() []console.Event {
-	merged := append([]console.Event{}, s.EventsOf(xid.ECCPageRetirement)...)
-	merged = append(merged, s.EventsOf(xid.ECCPageRetirementAlt)...)
-	console.SortEvents(merged)
-	return merged
-}
-
 // Fig6MonthlyRetirement is the monthly page-retirement frequency.
 func (s *Study) Fig6MonthlyRetirement() []analysis.MonthCount {
 	return analysis.MonthlyCounts(s.retirementEvents(), s.Config.Start, s.Config.End)
@@ -201,8 +189,7 @@ func (s *Study) Fig8RetirementTiming() analysis.RetirementTiming {
 func (s *Study) Fig9DriverXIDMonthly() map[xid.Code][]analysis.MonthCount {
 	out := make(map[xid.Code][]analysis.MonthCount)
 	for _, code := range []xid.Code{31, 32, 43, 44} {
-		filtered := filtering.TimeThreshold(s.EventsOf(code), 5*time.Second)
-		out[code] = analysis.MonthlyCounts(filtered, s.Config.Start, s.Config.End)
+		out[code] = analysis.MonthlyCounts(s.incidents(code), s.Config.Start, s.Config.End)
 	}
 	return out
 }
@@ -210,8 +197,7 @@ func (s *Study) Fig9DriverXIDMonthly() map[xid.Code][]analysis.MonthCount {
 // Fig10XID13Daily is the daily XID 13 incident series (five-second
 // filtered) with its burstiness index.
 func (s *Study) Fig10XID13Daily() ([]int, float64) {
-	filtered := filtering.TimeThreshold(s.EventsOf(13), 5*time.Second)
-	daily := analysis.DailyCounts(filtered, s.Config.Start, s.Config.End)
+	daily := analysis.DailyCounts(s.incidents(13), s.Config.Start, s.Config.End)
 	return daily, analysis.BurstinessIndex(daily)
 }
 
@@ -226,8 +212,8 @@ func (s *Study) Fig11MicrocontrollerHalts() (old, new59 []analysis.MonthCount) {
 func (s *Study) Fig12XID13Filtering() (all, filtered, children analysis.Grid) {
 	ev := s.EventsOf(13)
 	return analysis.SpatialMap(ev),
-		analysis.SpatialMap(filtering.TimeThreshold(ev, 5*time.Second)),
-		analysis.SpatialMap(filtering.Children(ev, 5*time.Second))
+		analysis.SpatialMap(s.incidents(13)),
+		analysis.SpatialMap(filtering.Children(ev, incidentThreshold))
 }
 
 // Fig13Heatmaps returns the co-occurrence matrices with and without
@@ -240,19 +226,21 @@ func (s *Study) Fig13Heatmaps() (withSame, withoutSame [][]float64, codes []xid.
 }
 
 // Fig14SBESkew is the SBE spatial-skew analysis.
-func (s *Study) Fig14SBESkew() analysis.SBESkew { return analysis.AnalyzeSBESkew(s.sbe) }
+func (s *Study) Fig14SBESkew() analysis.SBESkew { return analysis.AnalyzeSBESkew(s.SBECounts()) }
 
 // Fig15SBECages is the SBE cage analysis.
-func (s *Study) Fig15SBECages() analysis.SBECageAnalysis { return analysis.AnalyzeSBECages(s.sbe) }
+func (s *Study) Fig15SBECages() analysis.SBECageAnalysis {
+	return analysis.AnalyzeSBECages(s.SBECounts())
+}
 
 // Fig16to19Correlations is the SBE-versus-utilization correlation table.
 func (s *Study) Fig16to19Correlations() []analysis.UtilizationCorrelation {
-	return analysis.SBEUtilizationCorrelations(s.Result.Samples, s.top10)
+	return analysis.SBEUtilizationCorrelations(s.Result.Samples, s.Top10Offenders())
 }
 
 // Fig20UserCorrelation is the per-user SBE correlation.
 func (s *Study) Fig20UserCorrelation() analysis.UserCorrelation {
-	return analysis.SBEByUser(s.Result.Samples, s.top10)
+	return analysis.SBEByUser(s.Result.Samples, s.Top10Offenders())
 }
 
 // Fig21Workload is the workload characterization.
@@ -275,7 +263,14 @@ func (s *Study) JobLog() []scheduler.Record { return s.Result.Jobs }
 // Samples returns the per-job nvidia-smi samples.
 func (s *Study) Samples() []nvsmi.JobSample { return s.Result.Samples }
 
-// WriteReport renders every figure to w in paper order.
+// WriteReport renders every figure to w in paper order, serially.
 func (s *Study) WriteReport(w io.Writer) {
 	writeReport(w, s)
+}
+
+// WriteReportConcurrent renders the report's sections concurrently over a
+// pool of at most workers goroutines, assembling them in paper order.
+// Output is byte-identical to WriteReport for the same dataset.
+func (s *Study) WriteReportConcurrent(w io.Writer, workers int) {
+	writeReportConcurrent(w, s, workers)
 }

@@ -1,0 +1,50 @@
+package faults
+
+import "math/rand"
+
+// Derived RNG streams.
+//
+// The simulator gives every stochastic process its own random stream
+// derived from (study seed, stream id). Streams are statistically
+// independent and — unlike handing slices of one shared *rand.Rand to
+// each process — they decouple the processes completely: any subset can
+// be generated concurrently, in any order, and the draws each process
+// sees are identical. That is the foundation of the deterministic
+// parallel simulation (see DESIGN.md "Deterministic parallelism").
+
+// splitmix64 is the finalizer of the SplitMix64 generator. It is used
+// both to mix (seed, stream) into a stream seed and as the generator
+// behind derived streams.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed mixes a base seed and a stream identifier into the seed of
+// an independent substream. Equal inputs give equal outputs on every
+// platform.
+func DeriveSeed(seed int64, stream uint64) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)+0x9e3779b97f4a7c15) + stream*0xbf58476d1ce4e5b9))
+}
+
+// streamSource is a SplitMix64 rand.Source64. It is two words instead of
+// math/rand's ~5 KB lagged-Fibonacci state, so deriving one per job (the
+// simulator derives hundreds of thousands) is essentially free.
+type streamSource struct{ state uint64 }
+
+func (s *streamSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return splitmix64(s.state)
+}
+
+func (s *streamSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *streamSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// DeriveRNG returns the random stream for (seed, stream). The stream is
+// deterministic, independent of every other stream id, and cheap to
+// construct.
+func DeriveRNG(seed int64, stream uint64) *rand.Rand {
+	return rand.New(&streamSource{state: uint64(DeriveSeed(seed, stream))})
+}

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"titanre/internal/console"
@@ -48,7 +48,7 @@ type Result struct {
 // DBE-prone card.
 const maxDBEWeight = 160.0
 
-type itemKind int
+type itemKind int32
 
 const (
 	kindJobEnd itemKind = iota
@@ -57,156 +57,102 @@ const (
 	kindJobStart
 )
 
+// item is one entry of the merged timeline. Items are ordered by the
+// deterministic merge key (time, kind, stream, seq): stream is the
+// fixed rank of the fault process (0 for job/epoch items), seq the
+// position within that stream. The key is independent of goroutine
+// scheduling, so the walk order — and therefore the dataset — is the
+// same at any GOMAXPROCS.
 type item struct {
-	at   time.Time
-	kind itemKind
-	seq  int
+	at     time.Time
+	kind   itemKind
+	stream int32
+	seq    int32
 	// jobIdx indexes Result.Jobs for job items.
-	jobIdx int
+	jobIdx int32
 	// code and node describe hardware items.
 	code xid.Code
 	node topology.NodeID
 }
 
+func compareItems(a, b item) int {
+	if c := a.at.Compare(b.at); c != 0 {
+		return c
+	}
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	if a.stream != b.stream {
+		return int(a.stream) - int(b.stream)
+	}
+	return int(a.seq) - int(b.seq)
+}
+
 // Run executes the simulation and returns the dataset.
+//
+// Generation is parallel but deterministic: the workload's per-user
+// submission streams, every hardware fault process, and the per-job SBE
+// accrual draws each run on their own derived RNG substream (see
+// parallel.go), concurrently, and are combined by deterministic merges.
+// Only the timeline walk — which mutates fleet state — is serial.
 func Run(cfg Config) *Result {
 	res := &Result{Config: cfg}
 
-	rngWork := rand.New(rand.NewSource(cfg.Seed + 0x5eed0001))
-	rngHW := rand.New(rand.NewSource(cfg.Seed + 0x5eed0002))
-	rngWalk := rand.New(rand.NewSource(cfg.Seed + 0x5eed0003))
-
-	// 1. Workload and placement.
-	gen := workload.NewGenerator(rngWork, cfg.Workload)
+	// 1. Workload and placement: the user population is drawn from one
+	// stream, then each user's submission stream is generated
+	// concurrently from its own substream; placement stays serial.
+	gen := workload.NewGenerator(faults.DeriveRNG(cfg.Seed, streamUsers), cfg.Workload)
 	res.Users = gen.Users()
-	jobs := gen.GenerateJobs(rngWork, cfg.Start, cfg.End)
+	jobs := gen.GenerateJobsParallel(cfg.Seed, cfg.Start, cfg.End)
 	res.Jobs = scheduler.Schedule(jobs, cfg.Allocation)
 	for _, r := range res.Jobs {
 		res.NodeHours += r.GPUCoreHours()
 	}
 
 	// 2. Fleet and card profiles.
+	rngProf := faults.DeriveRNG(cfg.Seed, streamProfiles)
 	fleet := gpu.NewFleet(cfg.Spares)
 	fleet.SwapThreshold = cfg.HotSpareThreshold
 	res.Fleet = fleet
-	res.Profiles = faults.AssignProfiles(rngHW, fleet.ManufacturedCount(), cfg.Profiles)
+	res.Profiles = faults.AssignProfiles(rngProf, fleet.ManufacturedCount(), cfg.Profiles)
 	for i := range res.Profiles {
 		if res.Profiles[i].DBEWeight > maxDBEWeight {
 			res.Profiles[i].DBEWeight = maxDBEWeight
 		}
-		if cfg.SBEBrokenCounterFraction > 0 && rngHW.Float64() < cfg.SBEBrokenCounterFraction {
+		if cfg.SBEBrokenCounterFraction > 0 && rngProf.Float64() < cfg.SBEBrokenCounterFraction {
 			if c := fleet.CardBySerial(gpu.Serial(i + 1)); c != nil {
 				c.SBECounterBroken = true
 			}
 		}
 	}
 
-	// 3. Hardware arrival pre-generation.
-	var items []item
-	add := func(it item) {
-		it.seq = len(items)
-		items = append(items, it)
-	}
-
-	dbeProc := &faults.NodeProcess{
-		RatePerHour: cfg.DBERatePerHour * maxDBEWeight,
-		Weights:     thermalOrUniform(cfg.DBEThermalDoubleF),
-	}
-	if cfg.InfantMortalityFactor > 1 && cfg.InfantMortalityHalfLife > 0 {
-		dbeProc.Epochs = faults.DecayEpochs(cfg.Start, cfg.InfantMortalityFactor, cfg.InfantMortalityHalfLife)
-	}
-	for _, a := range dbeProc.Generate(rngHW, cfg.Start, cfg.End) {
-		add(item{at: a.Time, kind: kindHardware, code: xid.DoubleBitError, node: a.Node})
-	}
-
-	if cfg.OTBRatePreFixPerHour > 0 {
-		otbProc := &faults.NodeProcess{
-			RatePerHour:   cfg.OTBRatePreFixPerHour,
-			Weights:       thermalOrUniform(cfg.OTBThermalDoubleF),
-			Cluster:       cfg.OTBCluster,
-			ClusterSpread: cfg.OTBClusterSpread,
-			Epochs: []faults.Epoch{{
-				Start:  cfg.OTBFix,
-				End:    cfg.End,
-				Factor: cfg.OTBRatePostFixPerHour / cfg.OTBRatePreFixPerHour,
-			}},
-		}
-		for _, a := range otbProc.Generate(rngHW, cfg.Start, cfg.End) {
-			add(item{at: a.Time, kind: kindHardware, code: xid.OffTheBus, node: a.Node})
-		}
-	}
-
-	// Driver-caused XIDs, in deterministic code order.
-	var driverCodes []xid.Code
-	for code := range cfg.DriverRates {
-		driverCodes = append(driverCodes, code)
-	}
-	sort.Slice(driverCodes, func(i, j int) bool { return driverCodes[i] < driverCodes[j] })
-	for _, code := range driverCodes {
-		rate := cfg.DriverRates[code]
-		if rate <= 0 {
-			continue
-		}
-		proc := &faults.NodeProcess{RatePerHour: rate, Weights: faults.UniformComputeWeights()}
-		switch code {
-		case xid.MicrocontrollerHaltOld:
-			// Replaced by XID 62 at the driver upgrade.
-			proc.Epochs = []faults.Epoch{{Start: cfg.DriverUpgrade, End: cfg.End, Factor: 0}}
-		case xid.MicrocontrollerHaltNew:
-			// Introduced by the driver upgrade; thermally sensitive.
-			proc.Epochs = []faults.Epoch{{Start: cfg.Start, End: cfg.DriverUpgrade, Factor: 0}}
-			proc.Weights = thermalOrUniform(10)
-		}
-		for _, a := range proc.Generate(rngHW, cfg.Start, cfg.End) {
-			add(item{at: a.Time, kind: kindHardware, code: code, node: a.Node})
-		}
-	}
-
-	// The misbehaving node of Observation 8: hardware trouble that
-	// surfaces as XID 13 regardless of the application.
-	if cfg.FaultyNode >= 0 && cfg.FaultyNodeRate > 0 {
-		fStart := cfg.FaultyNodeStart
-		fEnd := fStart.Add(cfg.FaultyNodeDuration)
-		if fEnd.After(cfg.End) {
-			fEnd = cfg.End
-		}
-		t := fStart
-		for {
-			t = t.Add(time.Duration(faults.Exponential(rngHW, cfg.FaultyNodeRate) * float64(time.Hour)))
-			if !t.Before(fEnd) {
-				break
-			}
-			add(item{at: t, kind: kindHardware, code: xid.GraphicsEngineException, node: topology.NodeID(cfg.FaultyNode)})
-		}
-	}
-
-	// Job items and the retirement-driver epoch marker.
+	// 3. Hardware arrivals (each process on its own stream, generated
+	// concurrently) merged with job boundaries and epoch markers.
+	items := generateHardware(cfg)
+	items = slices.Grow(items, 2*len(res.Jobs)+1)
 	for i, rec := range res.Jobs {
-		add(item{at: rec.Start, kind: kindJobStart, jobIdx: i})
-		add(item{at: rec.End, kind: kindJobEnd, jobIdx: i})
+		items = append(items,
+			item{at: rec.Start, kind: kindJobStart, jobIdx: int32(i)},
+			item{at: rec.End, kind: kindJobEnd, jobIdx: int32(i)})
 	}
-	add(item{at: cfg.RetirementDriver, kind: kindEpoch})
+	items = append(items, item{at: cfg.RetirementDriver, kind: kindEpoch})
+	slices.SortFunc(items, compareItems)
 
-	sort.Slice(items, func(i, j int) bool {
-		if !items[i].at.Equal(items[j].at) {
-			return items[i].at.Before(items[j].at)
-		}
-		if items[i].kind != items[j].kind {
-			return items[i].kind < items[j].kind
-		}
-		return items[i].seq < items[j].seq
-	})
+	// 3b. SBE accrual pre-pass: per-job draws on per-job substreams,
+	// computed concurrently, applied serially (in time order) by the
+	// walk below.
+	sbeDraws := drawAllSBEs(cfg, res.Jobs, sbeRatesByNode(cfg, fleet, res.Profiles))
 
-	// 4. Timeline walk.
+	// 4. Timeline walk (serial: it mutates card and fleet state).
 	w := &walker{
-		cfg:     cfg,
-		res:     res,
-		fleet:   fleet,
-		rng:     rngWalk,
-		sampler: nvsmi.NewJobSampler(fleet),
-		active:  make([]int32, topology.TotalNodes),
-		sbeW:    faults.SBEStructureWeights(),
-		dbeW:    faults.DBEStructureWeights(),
+		cfg:      cfg,
+		res:      res,
+		fleet:    fleet,
+		rng:      faults.DeriveRNG(cfg.Seed, streamWalk),
+		sampler:  nvsmi.NewJobSampler(fleet),
+		active:   make([]int32, topology.TotalNodes),
+		sbeDraws: sbeDraws,
+		dbeW:     faults.DBEStructureWeights(),
 	}
 	for i := range w.active {
 		w.active[i] = -1
@@ -218,9 +164,9 @@ func Run(cfg Config) *Result {
 		case kindEpoch:
 			fleet.EnableRetirement()
 		case kindJobStart:
-			w.jobStart(it.jobIdx)
+			w.jobStart(int(it.jobIdx))
 		case kindJobEnd:
-			w.jobEnd(it.jobIdx)
+			w.jobEnd(int(it.jobIdx))
 		case kindHardware:
 			w.hardware(it.at, it.code, it.node)
 		}
@@ -249,8 +195,9 @@ type walker struct {
 	// active[n] is the index into res.Jobs of the job running on node n,
 	// or -1.
 	active []int32
-	sbeW   []float64
-	dbeW   []float64
+	// sbeDraws[i] is job i's pre-drawn SBE accrual, time-ordered.
+	sbeDraws [][]sbeDraw
+	dbeW     []float64
 }
 
 func (w *walker) emit(e console.Event) {
@@ -279,7 +226,7 @@ func (w *walker) jobStart(idx int) {
 
 func (w *walker) jobEnd(idx int) {
 	rec := &w.res.Jobs[idx]
-	w.accrueSBEs(rec)
+	w.applySBEs(idx)
 	if rec.Spec.Buggy {
 		w.appCrash(rec)
 	}
@@ -301,45 +248,22 @@ func (w *walker) jobEnd(idx int) {
 	}
 }
 
-// accrueSBEs draws the job's corrected single bit errors on every
-// susceptible node it held and applies them to the cards, emitting page
-// retirement records when the two-SBE rule fires.
-func (w *walker) accrueSBEs(rec *scheduler.Record) {
-	spanEnd := rec.End
-	if spanEnd.After(w.cfg.End) {
-		spanEnd = w.cfg.End
-	}
-	hours := spanEnd.Sub(rec.Start).Hours()
-	if hours <= 0 {
-		return
-	}
-	for _, n := range rec.Nodes {
-		card := w.fleet.CardAt(n)
+// applySBEs replays the job's pre-drawn corrected single bit errors
+// against the cards currently at its nodes, emitting page retirement
+// records when the two-SBE rule fires. Draws are time-ordered (see
+// drawJobSBEs), so a retirement can never precede its trigger.
+func (w *walker) applySBEs(idx int) {
+	for _, d := range w.sbeDraws[idx] {
+		w.res.TrueSBECount++
+		card := w.fleet.CardAt(d.node)
 		if card == nil {
 			continue
 		}
-		prof := w.profileOf(card.Serial)
-		if prof.SBERatePerActiveHour <= 0 {
-			continue
-		}
-		rate := prof.SBERatePerActiveHour
-		if w.cfg.SBEThermalDoubleF > 0 {
-			rate *= topology.ThermalAcceleration(n, w.cfg.SBEThermalDoubleF)
-		}
-		count := faults.Poisson(w.rng, rate*hours)
-		for k := int64(0); k < count; k++ {
-			at := rec.Start.Add(time.Duration(w.rng.Float64() * float64(spanEnd.Sub(rec.Start))))
-			s := gpu.Structure(faults.Categorical(w.rng, w.sbeW))
-			page := console.NoPage
-			if s == gpu.DeviceMemory {
-				page = int32(w.rng.Intn(int(gpu.DevicePages)))
-			}
-			w.res.TrueSBECount++
-			if card.RecordSBE(s, page) {
-				w.emitRetirement(at, n, card, page)
-			}
+		if card.RecordSBE(d.s, d.page) {
+			w.emitRetirement(d.at, d.node, card, d.page)
 		}
 	}
+	w.sbeDraws[idx] = nil
 }
 
 // emitRetirement writes the XID 63 (and occasionally 64) console records

@@ -9,7 +9,10 @@ package workload
 
 import (
 	"math/rand"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"titanre/internal/faults"
@@ -201,34 +204,96 @@ func (g *Generator) deadlinePressure(start time.Time, t time.Time) float64 {
 func (g *Generator) GenerateJobs(rng *rand.Rand, start, end time.Time) []Job {
 	var jobs []Job
 	for _, u := range g.users {
-		t := start
-		for {
-			// Draw the next submission with the rate active *now*;
-			// thinning against the boosted rate keeps it exact enough
-			// for a day-scale rhythm.
-			maxRate := u.JobsPerDay * g.params.DeadlineBoost / 24 // per hour
-			if g.params.DeadlineBoost < 1 {
-				maxRate = u.JobsPerDay / 24
-			}
-			gap := faults.Exponential(rng, maxRate)
-			t = t.Add(time.Duration(gap * float64(time.Hour)))
-			if !t.Before(end) {
-				break
-			}
-			pressure := 1.0
-			if u.Class == Debugger {
-				pressure = g.deadlinePressure(start, t)
-			}
-			rate := u.JobsPerDay / 24 * pressure
-			if rng.Float64()*maxRate > rate {
-				continue
-			}
-			jobs = append(jobs, g.drawJob(rng, u, t))
-		}
+		jobs = append(jobs, g.userJobs(rng, u, start, end)...)
 	}
 	sortJobs(jobs)
 	return jobs
 }
+
+// userJobs draws one user's complete submission stream from the given
+// random stream.
+func (g *Generator) userJobs(rng *rand.Rand, u UserProfile, start, end time.Time) []Job {
+	var jobs []Job
+	t := start
+	for {
+		// Draw the next submission with the rate active *now*;
+		// thinning against the boosted rate keeps it exact enough
+		// for a day-scale rhythm.
+		maxRate := u.JobsPerDay * g.params.DeadlineBoost / 24 // per hour
+		if g.params.DeadlineBoost < 1 {
+			maxRate = u.JobsPerDay / 24
+		}
+		gap := faults.Exponential(rng, maxRate)
+		t = t.Add(time.Duration(gap * float64(time.Hour)))
+		if !t.Before(end) {
+			break
+		}
+		pressure := 1.0
+		if u.Class == Debugger {
+			pressure = g.deadlinePressure(start, t)
+		}
+		rate := u.JobsPerDay / 24 * pressure
+		if rng.Float64()*maxRate > rate {
+			continue
+		}
+		jobs = append(jobs, g.drawJob(rng, u, t))
+	}
+	return jobs
+}
+
+// userJobStream is the stream-id base for per-user job streams (see
+// faults.DeriveRNG); the user's index is added to it.
+const userJobStream uint64 = 0x4a0b_0000_0000
+
+// GenerateJobsParallel draws the same population of jobs as GenerateJobs
+// but gives every user an independent random stream derived from (seed,
+// user index) and generates the streams concurrently. The result depends
+// only on the seed and the generator's parameters — never on GOMAXPROCS
+// or goroutine scheduling.
+func (g *Generator) GenerateJobsParallel(seed int64, start, end time.Time) []Job {
+	perUser := make([][]Job, len(g.users))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers(len(g.users)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(g.users) {
+					return
+				}
+				rng := faults.DeriveRNG(seed, userJobStream+uint64(i))
+				perUser[i] = g.userJobs(rng, g.users[i], start, end)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, js := range perUser {
+		total += len(js)
+	}
+	jobs := make([]Job, 0, total)
+	for _, js := range perUser {
+		jobs = append(jobs, js...)
+	}
+	sortJobs(jobs)
+	return jobs
+}
+
+// workers bounds a worker pool to the available parallelism and the
+// amount of work.
+func workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 
 func (g *Generator) drawJob(rng *rand.Rand, u UserProfile, submit time.Time) Job {
 	j := Job{User: u.ID, Class: u.Class, Submit: submit}
@@ -282,10 +347,10 @@ func hours(h float64) time.Duration {
 }
 
 func sortJobs(jobs []Job) {
-	sort.SliceStable(jobs, func(i, j int) bool {
-		if !jobs[i].Submit.Equal(jobs[j].Submit) {
-			return jobs[i].Submit.Before(jobs[j].Submit)
+	slices.SortStableFunc(jobs, func(a, b Job) int {
+		if c := a.Submit.Compare(b.Submit); c != 0 {
+			return c
 		}
-		return jobs[i].User < jobs[j].User
+		return int(a.User) - int(b.User)
 	})
 }

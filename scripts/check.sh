@@ -16,6 +16,13 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== determinism under contention (GOMAXPROCS=2, race mode)"
+GOMAXPROCS=2 go test -race ./internal/sim -run TestRunIdenticalAcrossGOMAXPROCS
+GOMAXPROCS=2 go test -race ./internal/core -run 'TestDigestsAcrossGOMAXPROCS|TestReportGolden'
+
+echo "== benchmark smoke (full-period simulation, one iteration)"
+go test . -run '^$' -bench 'BenchmarkSimulationFullPeriod$' -benchtime 1x
+
 echo "== fuzz smoke (FuzzParseRawLine, 5s)"
 go test ./internal/console -run '^$' -fuzz FuzzParseRawLine -fuzztime 5s
 
