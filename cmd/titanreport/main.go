@@ -14,7 +14,9 @@
 // stderr, and the report gains an ingestion-health section whenever the
 // load was not perfectly clean. -strict restores the fail-fast loader.
 // The command exits non-zero when ingestion fails outright (no readable
-// artifacts).
+// artifacts). -load-workers widens the load: the four artifacts are read
+// concurrently and the console log is parsed in newline-aligned shards;
+// the loaded dataset is identical at any width.
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	strict := flag.Bool("strict", false, "fail fast on any dataset corruption instead of quarantining")
 	quarantine := flag.String("quarantine", "", "write the quarantine (dead-letter) log to this file")
 	workers := flag.Int("report-workers", runtime.GOMAXPROCS(0), "goroutines rendering report sections (output is identical at any value)")
+	loadWorkers := flag.Int("load-workers", runtime.GOMAXPROCS(0), "goroutines loading dataset artifacts and parsing console shards (result is identical at any value)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -59,14 +62,14 @@ func main() {
 			cfg.Start, cfg.End = time.Time{}, time.Time{}
 		}
 		if *strict {
-			res, err := dataset.Load(*data, cfg)
+			res, err := dataset.LoadWorkers(*data, cfg, *loadWorkers)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "titanreport:", err)
 				os.Exit(1)
 			}
 			study = core.FromResult(res)
 		} else {
-			res, health, err := dataset.LoadResilient(*data, cfg, ingest.DefaultOptions())
+			res, health, err := dataset.LoadResilientWorkers(*data, cfg, ingest.DefaultOptions(), *loadWorkers)
 			if health != nil && !health.Clean() {
 				health.WriteSummary(os.Stderr)
 			}

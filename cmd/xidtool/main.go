@@ -3,7 +3,7 @@
 //
 //	xidtool list                   print the full error catalog
 //	xidtool explain <code>        describe one XID (causes, crash semantics)
-//	xidtool stats <console.log>    per-code event counts in a log
+//	xidtool stats [flags] <console.log>  per-code event counts in a log
 //	xidtool rules                  dump the production SEC rule set
 //	xidtool device <snap> <cname>  nvidia-smi -q style view of one card
 //	xidtool heatmap <console.log>  Fig-13-style co-occurrence matrix
@@ -13,6 +13,13 @@
 //	    -node CNAME  only this node
 //	    -window D    collapse child events within D (e.g. 5s), per code
 //	    -rules FILE  use a custom SEC rule configuration
+//
+// stats and grep also take -load-workers N: with N > 0 the log is read
+// through the fast sharded parser (hand-rolled zero-allocation decoder,
+// N newline-aligned shards) instead of the recovering ingest pipeline.
+// The fast path drops unparseable lines instead of quarantining them, so
+// it suits clean archives where throughput matters; the default (0)
+// keeps the recovering parser.
 //
 // It consumes the raw console-line format via the same SEC rules the
 // study used.
@@ -49,10 +56,7 @@ func main() {
 		}
 		explain(os.Args[2])
 	case "stats":
-		if len(os.Args) < 3 {
-			usage()
-		}
-		stats(os.Args[2])
+		stats(os.Args[2:])
 	case "rules":
 		if err := console.WriteRules(os.Stdout, console.NewCorrelator().Rules()); err != nil {
 			fmt.Fprintln(os.Stderr, "xidtool:", err)
@@ -170,6 +174,32 @@ func parseLog(path string) []console.Event {
 	return parseLogWith(console.NewCorrelator(), path)
 }
 
+// parseLogFast routes between the recovering ingest pipeline (workers
+// <= 0, the resilient default) and the fast sharded parser (workers > 0,
+// fail-fast on I/O errors; corrupt lines are dropped and reported on
+// stderr instead of quarantined).
+func parseLogFast(c *console.Correlator, path string, workers int) []console.Event {
+	if workers <= 0 {
+		return parseLogWith(c, path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xidtool:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := c.ParseAllParallel(f, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xidtool:", err)
+		os.Exit(1)
+	}
+	if c.Dropped > 0 || c.Malformed > 0 || c.Oversized > 0 {
+		fmt.Fprintf(os.Stderr, "xidtool: fast parse dropped %d chatter, %d malformed, %d oversized lines\n",
+			c.Dropped, c.Malformed, c.Oversized)
+	}
+	return events
+}
+
 // parseLogWith reads a console log through the recovering ingest path:
 // corrupt lines are quarantined (summary on stderr) instead of aborting
 // the tool, and the exit code is non-zero only when ingestion fails
@@ -198,8 +228,13 @@ func parseLogWith(c *console.Correlator, path string) []console.Event {
 	return events
 }
 
-func stats(path string) {
-	events := parseLog(path)
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	loadWorkers := fs.Int("load-workers", 0, "parse through the fast sharded path with this many workers (0 = recovering ingest)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		usage()
+	}
+	events := parseLogFast(console.NewCorrelator(), fs.Arg(0), *loadWorkers)
 	counts := map[xid.Code]int{}
 	for _, e := range events {
 		counts[e.Code]++
@@ -225,6 +260,7 @@ func grep(args []string) {
 	node := fs.String("node", "", "only this node (cname)")
 	window := fs.Duration("window", 0, "collapse child events within this window")
 	rulesPath := fs.String("rules", "", "SEC rule configuration file (default: built-in production rules)")
+	loadWorkers := fs.Int("load-workers", 0, "parse through the fast sharded path with this many workers (0 = recovering ingest)")
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		usage()
 	}
@@ -243,7 +279,7 @@ func grep(args []string) {
 		}
 		correlator = console.NewCorrelatorFromRules(rules)
 	}
-	events := parseLogWith(correlator, fs.Arg(0))
+	events := parseLogFast(correlator, fs.Arg(0), *loadWorkers)
 	if *code != 0 {
 		events = filtering.ByCode(events, xid.Code(*code))
 	}

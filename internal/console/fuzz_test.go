@@ -54,3 +54,47 @@ func FuzzParseRawLine(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeEquivalence is the differential gate over the fast-path
+// decoder: whenever DecodeRawBytes claims a line, the authoritative regex
+// path must classify the exact same bytes as VerdictEvent with the exact
+// same fields. Lines the fast path declines carry no obligation — they
+// fall through to the regex path in production, so any verdict is fine.
+func FuzzDecodeEquivalence(f *testing.F) {
+	whole := sampleEvent().Raw()
+	otb := sampleEvent()
+	otb.Code = -2 // xid.OffTheBus, avoiding the import in a seed helper
+	otb.StructureValid = false
+	otb.Page = NoPage
+	seeds := []string{
+		whole,
+		otb.Raw(),
+		"",
+		whole + "\r",
+		strings.Replace(whole, "serial=1234", "serial=01234", 1), // leading zero
+		strings.Replace(whole, " job=42", " job=-42", 1),
+		strings.Replace(whole, "2014-02-03", "2014-02-30", 1), // normalizing date
+		strings.Replace(whole, ": 48,", ": 49,", 1),           // unknown code
+		whole[:len(whole)/2],
+		"[2014-02-03 11:52:07] c3-2c1s4n2 kernel: NVRM: GPU at 0000:02:00.0 has fallen off the bus. serial=1 job=0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	c := NewCorrelator()
+	var d Decoder
+	f.Fuzz(func(t *testing.T, line string) {
+		fastEv, claimed := d.DecodeRawBytes([]byte(line))
+		if !claimed {
+			return
+		}
+		slowEv, v := c.Classify(line)
+		if v != VerdictEvent {
+			t.Fatalf("fast path claimed %q but Classify verdict is %v", line, v)
+		}
+		if fastEv != slowEv {
+			t.Fatalf("decoder divergence on %q:\nfast %+v\nslow %+v", line, fastEv, slowEv)
+		}
+	})
+}

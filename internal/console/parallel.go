@@ -1,0 +1,235 @@
+package console
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sharded parallel log parsing.
+//
+// ParseAllParallel splits the log at newline boundaries into one chunk
+// per worker, parses the chunks concurrently (each worker with its own
+// Decoder and local operational counters), and concatenates the per-shard
+// results in file order. Because shard boundaries sit exactly on
+// newlines, every line is seen by exactly one worker whole, so the
+// resulting []Event — and the summed counters — are identical to the
+// serial walk at any worker count.
+
+// lineReader yields lines from an io.Reader without allocating a string
+// per line. Unlike bufio.Scanner it survives oversized records: a line
+// longer than maxLineBytes is discarded up to the next newline and
+// counted, instead of aborting the whole parse with ErrTooLong.
+type lineReader struct {
+	br        *bufio.Reader
+	spill     []byte
+	oversized int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// next returns the next line with its trailing newline (and at most one
+// carriage return) removed. ok=false means clean end of input. The
+// returned slice is only valid until the following call.
+func (lr *lineReader) next() (line []byte, ok bool, err error) {
+	lr.spill = lr.spill[:0]
+	for {
+		chunk, rerr := lr.br.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			lr.spill = append(lr.spill, chunk...)
+			// +1 slack: a line of maxLineBytes+1 raw bytes may still
+			// trim to exactly maxLineBytes if it ends in \r, and must
+			// not be discarded early — the trimmed-length check below
+			// decides, identically to the sharded path.
+			if len(lr.spill) > maxLineBytes+1 {
+				lr.oversized++
+				switch derr := lr.discardLine(); derr {
+				case nil:
+					lr.spill = lr.spill[:0]
+					continue
+				case io.EOF:
+					return nil, false, nil
+				default:
+					return nil, false, derr
+				}
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			return nil, false, fmt.Errorf("reading log: %w", rerr)
+		}
+		line := chunk
+		if len(lr.spill) > 0 {
+			lr.spill = append(lr.spill, chunk...)
+			line = lr.spill
+		}
+		atEOF := rerr == io.EOF
+		if atEOF && len(line) == 0 {
+			return nil, false, nil
+		}
+		line = trimEOL(line)
+		if len(line) > maxLineBytes {
+			lr.oversized++
+			if atEOF {
+				return nil, false, nil
+			}
+			lr.spill = lr.spill[:0]
+			continue
+		}
+		return line, true, nil
+	}
+}
+
+// discardLine skips the remainder of an oversized record. io.EOF means
+// the record ran to the end of the input.
+func (lr *lineReader) discardLine() error {
+	for {
+		_, err := lr.br.ReadSlice('\n')
+		switch err {
+		case nil:
+			return nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// trimEOL drops one trailing newline and one trailing carriage return:
+// the scanner already isolates lines at \n, so only the \r of a CRLF
+// ending needs handling.
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// shardResult is one worker's output: events in chunk order plus the
+// operational counters booked locally so workers never contend.
+type shardResult struct {
+	events    []Event
+	dropped   int
+	malformed int
+	oversized int
+}
+
+// ParseAllParallel is ParseAll over worker-count shards. The whole log is
+// read into memory, split at newline boundaries, parsed concurrently and
+// concatenated in file order; events and counters are identical to the
+// serial path at any worker count.
+func (c *Correlator) ParseAllParallel(r io.Reader, workers int) ([]Event, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("console: reading log: %w", err)
+	}
+	return c.ParseBytes(data, workers)
+}
+
+// ParseBytes parses an in-memory console log across the given number of
+// shards. It is the core of ParseAllParallel, exposed for callers that
+// already hold the bytes.
+func (c *Correlator) ParseBytes(data []byte, workers int) ([]Event, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	// Don't bother fanning out over tiny inputs.
+	if max := len(data)/(64<<10) + 1; workers > max {
+		workers = max
+	}
+
+	// Shard boundaries: the s-th shard starts at the first newline at or
+	// after s/workers of the file, so every boundary is a line start.
+	starts := make([]int, workers+1)
+	starts[workers] = len(data)
+	for s := 1; s < workers; s++ {
+		pos := len(data) * s / workers
+		if pos < starts[s-1] {
+			pos = starts[s-1]
+		}
+		if nl := bytes.IndexByte(data[pos:], '\n'); nl >= 0 {
+			starts[s] = pos + nl + 1
+		} else {
+			starts[s] = len(data)
+		}
+	}
+	for s := 1; s < workers; s++ {
+		if starts[s] < starts[s-1] {
+			starts[s] = starts[s-1]
+		}
+	}
+
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = c.parseShard(data[starts[s]:starts[s+1]])
+		}(s)
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range results {
+		total += len(results[i].events)
+	}
+	out := make([]Event, 0, total)
+	for i := range results {
+		out = append(out, results[i].events...)
+		c.Dropped += results[i].dropped
+		c.Malformed += results[i].malformed
+		c.Oversized += results[i].oversized
+	}
+	return out, nil
+}
+
+// parseShard walks one chunk line by line. It reads the correlator's
+// rule set but books all counters locally, so shards never write shared
+// state.
+func (c *Correlator) parseShard(data []byte) shardResult {
+	var res shardResult
+	var d Decoder
+	for off := 0; off < len(data); {
+		var line []byte
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			line = data[off : off+nl]
+			off += nl + 1
+		} else {
+			line = data[off:]
+			off = len(data)
+		}
+		line = trimEOL(line)
+		if len(line) == 0 {
+			continue
+		}
+		if len(line) > maxLineBytes {
+			res.oversized++
+			continue
+		}
+		if c.fast {
+			if ev, ok := d.DecodeRawBytes(line); ok {
+				res.events = append(res.events, ev)
+				continue
+			}
+		}
+		ev, v := c.Classify(string(line))
+		switch v {
+		case VerdictEvent:
+			res.events = append(res.events, ev)
+		case VerdictNoHeader, VerdictChatter:
+			res.dropped++
+		default:
+			res.malformed++
+		}
+	}
+	return res
+}

@@ -1,0 +1,210 @@
+package console
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// parseCounters snapshots the operational counters for equivalence checks.
+type parseCounters struct{ dropped, malformed, oversized int }
+
+func countersOf(c *Correlator) parseCounters {
+	return parseCounters{c.Dropped, c.Malformed, c.Oversized}
+}
+
+// TestParseAllParallelEquivalence: the sharded parse must return the same
+// events in the same order, and the same counters, as the serial walk —
+// at every worker count, with and without the fast path.
+func TestParseAllParallelEquivalence(t *testing.T) {
+	log := mixedLog(t, 300)
+
+	serial := NewCorrelator()
+	want, err := serial.ParseAll(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounters := countersOf(serial)
+
+	for _, fast := range []bool{true, false} {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			c := NewCorrelator()
+			c.fast = fast
+			got, err := c.ParseAllParallel(bytes.NewReader(log), workers)
+			if err != nil {
+				t.Fatalf("fast=%t workers=%d: %v", fast, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("fast=%t workers=%d: %d events, want %d", fast, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("fast=%t workers=%d: event %d differs:\n got %+v\nwant %+v",
+						fast, workers, i, got[i], want[i])
+				}
+			}
+			if cc := countersOf(c); cc != wantCounters {
+				t.Errorf("fast=%t workers=%d: counters %+v, want %+v", fast, workers, cc, wantCounters)
+			}
+		}
+	}
+}
+
+// TestOversizedLineRegression: a 2 MiB junk line mid-file must not abort
+// the parse (the old bufio.Scanner path died with ErrTooLong); it is
+// counted as oversized and events on both sides of it survive. Verified
+// for the serial reader and every sharded width.
+func TestOversizedLineRegression(t *testing.T) {
+	before := sampleEvent()
+	after := sampleEvent()
+	after.Serial = 9999
+
+	var buf bytes.Buffer
+	buf.WriteString(before.Raw())
+	buf.WriteByte('\n')
+	buf.WriteString(strings.Repeat("x", 2<<20)) // 2 MiB of junk, one line
+	buf.WriteByte('\n')
+	buf.WriteString(after.Raw())
+	buf.WriteByte('\n')
+	log := buf.Bytes()
+
+	check := func(t *testing.T, events []Event, err error, c *Correlator) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("parse aborted: %v", err)
+		}
+		if len(events) != 2 {
+			t.Fatalf("got %d events, want 2 (one each side of the junk line)", len(events))
+		}
+		if events[0] != before || events[1] != after {
+			t.Errorf("events corrupted around the oversized line: %+v", events)
+		}
+		if c.Oversized != 1 {
+			t.Errorf("Oversized = %d, want 1", c.Oversized)
+		}
+		if c.Dropped != 0 || c.Malformed != 0 {
+			t.Errorf("junk line leaked into other counters: dropped=%d malformed=%d", c.Dropped, c.Malformed)
+		}
+	}
+
+	t.Run("serial", func(t *testing.T) {
+		c := NewCorrelator()
+		events, err := c.ParseAll(bytes.NewReader(log))
+		check(t, events, err, c)
+	})
+	t.Run("stream", func(t *testing.T) {
+		c := NewCorrelator()
+		var events []Event
+		err := c.ParseStream(bytes.NewReader(log), func(e Event) bool {
+			events = append(events, e)
+			return true
+		})
+		check(t, events, err, c)
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run("parallel", func(t *testing.T) {
+			c := NewCorrelator()
+			events, err := c.ParseAllParallel(bytes.NewReader(log), workers)
+			check(t, events, err, c)
+		})
+	}
+}
+
+// TestOversizedLineAtEOF: an oversized record that runs to end-of-input
+// (no closing newline) is counted, not returned and not an error.
+func TestOversizedLineAtEOF(t *testing.T) {
+	ev := sampleEvent()
+	log := ev.Raw() + "\n" + strings.Repeat("y", maxLineBytes+100)
+	c := NewCorrelator()
+	events, err := c.ParseAll(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != ev {
+		t.Fatalf("got %d events, want the single leading event", len(events))
+	}
+	if c.Oversized != 1 {
+		t.Errorf("Oversized = %d, want 1", c.Oversized)
+	}
+}
+
+// TestOversizedBoundary pins the cap: a trimmed line of exactly
+// maxLineBytes passes (classified as chatter — no header), one byte more
+// is counted oversized. Raw CRLF lines of maxLineBytes+1 bytes trim to
+// the cap and must also pass, identically in serial and sharded walks.
+func TestOversizedBoundary(t *testing.T) {
+	cases := []struct {
+		name          string
+		line          string
+		wantOversized int
+		wantDropped   int
+	}{
+		{"at cap", strings.Repeat("a", maxLineBytes), 0, 1},
+		{"cap plus one", strings.Repeat("a", maxLineBytes+1), 1, 0},
+		{"cap with CR", strings.Repeat("a", maxLineBytes) + "\r", 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log := tc.line + "\n"
+			serial := NewCorrelator()
+			if _, err := serial.ParseAll(strings.NewReader(log)); err != nil {
+				t.Fatal(err)
+			}
+			sharded := NewCorrelator()
+			if _, err := sharded.ParseAllParallel(strings.NewReader(log), 4); err != nil {
+				t.Fatal(err)
+			}
+			for name, c := range map[string]*Correlator{"serial": serial, "sharded": sharded} {
+				if c.Oversized != tc.wantOversized || c.Dropped != tc.wantDropped {
+					t.Errorf("%s: oversized=%d dropped=%d, want %d/%d",
+						name, c.Oversized, c.Dropped, tc.wantOversized, tc.wantDropped)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteLogParallel: the concurrent encoder must emit bytes identical
+// to the serial WriteLog at any worker count.
+func TestWriteLogParallel(t *testing.T) {
+	c := NewCorrelator()
+	events, err := c.ParseAll(bytes.NewReader(mixedLog(t, 400)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteLog(&want, events); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		var got bytes.Buffer
+		if err := WriteLogParallel(&got, events, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("workers=%d: parallel encoding differs from serial (%d vs %d bytes)",
+				workers, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestParseBytesEmptyAndTiny: degenerate inputs at several widths.
+func TestParseBytesEmptyAndTiny(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c := NewCorrelator()
+		events, err := c.ParseBytes(nil, workers)
+		if err != nil || len(events) != 0 {
+			t.Errorf("workers=%d empty: events=%d err=%v", workers, len(events), err)
+		}
+		c = NewCorrelator()
+		events, err = c.ParseBytes([]byte("\n\n\n"), workers)
+		if err != nil || len(events) != 0 || c.Dropped != 0 {
+			t.Errorf("workers=%d blanks: events=%d dropped=%d err=%v", workers, len(events), c.Dropped, err)
+		}
+		c = NewCorrelator()
+		events, err = c.ParseBytes([]byte(sampleEvent().Raw()), workers) // no trailing newline
+		if err != nil || len(events) != 1 {
+			t.Errorf("workers=%d no-trailing-newline: events=%d err=%v", workers, len(events), err)
+		}
+	}
+}

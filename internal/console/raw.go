@@ -1,9 +1,6 @@
 package console
 
 import (
-	"fmt"
-	"strings"
-
 	"titanre/internal/gpu"
 	"titanre/internal/xid"
 )
@@ -18,8 +15,6 @@ import (
 // The renderer embeds the metadata the SEC rules need to recover (serial,
 // job, structure, page) as trailing key=value annotations, the way Titan's
 // enhanced logging configuration did.
-
-const rawTimeLayout = "2006-01-02 15:04:05"
 
 // structToken maps structures to the tokens used on raw lines.
 var structToken = map[gpu.Structure]string{
@@ -39,24 +34,20 @@ var tokenStruct = func() map[string]gpu.Structure {
 	return m
 }()
 
-// Raw renders the event as the console line the driver would have written.
+// Fixed fragments of the canonical line format. The renderer always
+// writes the same bus id; real fleets vary it, which is one of the
+// deviations that push a line onto the regex fallback path.
+const (
+	otbMessage = "GPU at 0000:02:00.0 has fallen off the bus."
+	xidPrefix  = "Xid (0000:02:00.0): "
+)
+
+// Raw renders the event as the console line the driver would have
+// written. It is AppendRaw materialized into a fresh string; hot paths
+// (WriteLog, the fast-path decoder's re-encode check) use AppendRaw with
+// a reused buffer instead.
 func (e Event) Raw() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "[%s] %s kernel: NVRM: ", e.Time.UTC().Format(rawTimeLayout), e.Location().CName())
-	switch e.Code {
-	case xid.OffTheBus:
-		b.WriteString("GPU at 0000:02:00.0 has fallen off the bus.")
-	default:
-		fmt.Fprintf(&b, "Xid (0000:02:00.0): %d, %s", int(e.Code), rawDescription(e))
-	}
-	fmt.Fprintf(&b, " serial=%d job=%d", uint32(e.Serial), int64(e.Job))
-	if e.StructureValid {
-		fmt.Fprintf(&b, " unit=%s", structToken[e.Structure])
-	}
-	if e.Page >= 0 {
-		fmt.Fprintf(&b, " page=%d", e.Page)
-	}
-	return b.String()
+	return string(e.AppendRaw(make([]byte, 0, 128)))
 }
 
 func rawDescription(e Event) string {

@@ -1,12 +1,10 @@
 package console
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"regexp"
 	"strconv"
-	"strings"
 	"time"
 
 	"titanre/internal/gpu"
@@ -31,11 +29,19 @@ type Rule struct {
 // keeps critical events.
 type Correlator struct {
 	rules []Rule
+	// fast marks correlators carrying exactly the production rule set,
+	// for which the zero-allocation decoder is provably equivalent to
+	// the regex path. Custom rule sets (NewCorrelatorFromRules, AddRule)
+	// clear it and always take the regex path.
+	fast bool
 	// Dropped counts lines that matched no rule.
 	Dropped int
 	// Malformed counts lines that matched a rule but could not be
 	// decoded into a full record.
 	Malformed int
+	// Oversized counts lines longer than the 1 MiB record cap; they are
+	// skipped and the parse resumes at the next newline.
+	Oversized int
 }
 
 var (
@@ -69,6 +75,7 @@ func NewCorrelator() *Correlator {
 			Code:    code,
 		})
 	}
+	c.fast = true // exactly the production rules: fast path is sound
 	return c
 }
 
@@ -77,8 +84,14 @@ func xidPattern(code int) *regexp.Regexp {
 	return regexp.MustCompile(fmt.Sprintf(`^Xid \([0-9a-f:.]+\): %d,`, code))
 }
 
-// AddRule appends a rule to the correlator.
-func (c *Correlator) AddRule(r Rule) { c.rules = append(c.rules, r) }
+// AddRule appends a rule to the correlator. A correlator whose rule set
+// was modified after construction always classifies through the regex
+// path — the fast path's soundness argument only covers the production
+// rule set.
+func (c *Correlator) AddRule(r Rule) {
+	c.rules = append(c.rules, r)
+	c.fast = false
+}
 
 // Rules returns a copy of the active rule list.
 func (c *Correlator) Rules() []Rule {
@@ -219,24 +232,44 @@ func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
 	return Event{}, false
 }
 
+// parseLineBytes classifies one line held as bytes: the zero-allocation
+// decoder first (when the rule set permits it), the regex path — which
+// is the only place a string is materialized — on any deviation.
+// Counters are updated exactly like ParseLine.
+func (c *Correlator) parseLineBytes(d *Decoder, line []byte) (Event, bool) {
+	if c.fast {
+		if ev, ok := d.DecodeRawBytes(line); ok {
+			return ev, true
+		}
+	}
+	return c.ParseLine(string(line))
+}
+
 // ParseAll reads a whole console log and returns every event it could
-// classify, in file order.
+// classify, in file order. Lines longer than the 1 MiB record cap are
+// skip-counted (Oversized) and the parse resumes at the next newline
+// instead of aborting the file.
 func (c *Correlator) ParseAll(r io.Reader) ([]Event, error) {
 	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimRight(sc.Text(), "\r\n")
-		if line == "" {
+	var d Decoder
+	lr := newLineReader(r)
+	for {
+		line, ok, err := lr.next()
+		if err != nil {
+			c.Oversized += lr.oversized
+			return out, fmt.Errorf("console: reading log: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if len(line) == 0 {
 			continue
 		}
-		if ev, ok := c.ParseLine(line); ok {
+		if ev, ok := c.parseLineBytes(&d, line); ok {
 			out = append(out, ev)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("console: reading log: %w", err)
-	}
+	c.Oversized += lr.oversized
 	return out, nil
 }
 
@@ -245,36 +278,26 @@ func (c *Correlator) ParseAll(r io.Reader) ([]Event, error) {
 // the whole log in memory, so it suits multi-gigabyte console archives
 // and tail-follow tooling.
 func (c *Correlator) ParseStream(r io.Reader, fn func(Event) bool) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimRight(sc.Text(), "\r\n")
-		if line == "" {
+	var d Decoder
+	lr := newLineReader(r)
+	for {
+		line, ok, err := lr.next()
+		if err != nil {
+			c.Oversized += lr.oversized
+			return fmt.Errorf("console: reading log: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if len(line) == 0 {
 			continue
 		}
-		if ev, ok := c.ParseLine(line); ok {
+		if ev, ok := c.parseLineBytes(&d, line); ok {
 			if !fn(ev) {
-				return nil
+				break
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("console: reading log: %w", err)
-	}
+	c.Oversized += lr.oversized
 	return nil
-}
-
-// WriteLog renders events as raw console lines to w, one per line, in the
-// order given.
-func WriteLog(w io.Writer, events []Event) error {
-	bw := bufio.NewWriter(w)
-	for _, e := range events {
-		if _, err := bw.WriteString(e.Raw()); err != nil {
-			return fmt.Errorf("console: writing log: %w", err)
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			return fmt.Errorf("console: writing log: %w", err)
-		}
-	}
-	return bw.Flush()
 }

@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"runtime"
+	"testing"
+
+	"titanre/internal/sim"
+)
+
+// benchDir writes a three-month dataset for the load benchmarks.
+func benchDir(b *testing.B) (string, sim.Config) {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 17
+	cfg.End = cfg.Start.AddDate(0, 3, 0)
+	res := sim.Run(cfg)
+	dir := b.TempDir()
+	if err := Write(dir, res); err != nil {
+		b.Fatal(err)
+	}
+	return dir, res.Config
+}
+
+// BenchmarkLoadSerial loads the four artifacts one after another with the
+// serial console parser — the PR 2 load path.
+func BenchmarkLoadSerial(b *testing.B) {
+	dir, cfg := benchDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadWorkers(dir, cfg, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadParallel loads the artifacts concurrently and parses the
+// console log in newline-aligned shards at the machine's width.
+func BenchmarkLoadParallel(b *testing.B) {
+	dir, cfg := benchDir(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadWorkers(dir, cfg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	"titanre/internal/console"
@@ -92,43 +94,89 @@ func writeFile(dir, name string, fn func(*os.File) error) error {
 // zero. Per-job sample node lists are rejoined from the job log so
 // offender-exclusion analyses keep working. Fleet state is not
 // reconstructible from flat files and is left nil.
+//
+// Load is LoadWorkers at the machine's width; the result is identical at
+// any worker count.
 func Load(dir string, cfg sim.Config) (*sim.Result, error) {
+	return LoadWorkers(dir, cfg, runtime.GOMAXPROCS(0))
+}
+
+// LoadWorkers is Load with explicit parallelism: the four artifacts are
+// read concurrently, and the console log — by far the largest — is
+// additionally sharded across the given number of parse workers.
+// workers <= 1 loads everything serially. The assembled Result is
+// byte-for-byte identical at every width (see TestLoadWorkersDigests);
+// only the wall clock changes.
+func LoadWorkers(dir string, cfg sim.Config, workers int) (*sim.Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
 	res := &sim.Result{Config: cfg}
 
-	events, err := loadArtifact(dir, ConsoleFile, func(f *os.File) ([]console.Event, error) {
-		return console.NewCorrelator().ParseAll(f)
-	})
-	if err != nil {
-		return nil, err
+	var (
+		events  []console.Event
+		jobs    []scheduler.Record
+		samples []nvsmi.JobSample
+		snap    nvsmi.Snapshot
+		// One error slot per artifact; the first failure in file order
+		// wins, so concurrent and serial loads report the same error.
+		errs [4]error
+	)
+	run := func(fns ...func()) {
+		if workers <= 1 {
+			for _, fn := range fns {
+				fn()
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, fn := range fns {
+			wg.Add(1)
+			go func(fn func()) {
+				defer wg.Done()
+				fn()
+			}(fn)
+		}
+		wg.Wait()
 	}
-	res.Events = events
+	run(
+		func() {
+			events, errs[0] = loadArtifact(dir, ConsoleFile, func(f *os.File) ([]console.Event, error) {
+				if workers <= 1 {
+					return console.NewCorrelator().ParseAll(f)
+				}
+				return console.NewCorrelator().ParseAllParallel(f, workers)
+			})
+		},
+		func() {
+			jobs, errs[1] = loadArtifact(dir, JobsFile, func(f *os.File) ([]scheduler.Record, error) {
+				return scheduler.ReadJobLog(f)
+			})
+		},
+		func() {
+			samples, errs[2] = loadArtifact(dir, SamplesFile, func(f *os.File) ([]nvsmi.JobSample, error) {
+				return nvsmi.ReadSamples(f)
+			})
+		},
+		func() {
+			snap, errs[3] = loadArtifact(dir, SnapshotFile, func(f *os.File) (nvsmi.Snapshot, error) {
+				return nvsmi.ReadSnapshot(f)
+			})
+		},
+	)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
-	jobs, err := loadArtifact(dir, JobsFile, func(f *os.File) ([]scheduler.Record, error) {
-		return scheduler.ReadJobLog(f)
-	})
-	if err != nil {
-		return nil, err
-	}
+	res.Events = events
 	res.Jobs = jobs
 	for _, r := range jobs {
 		res.NodeHours += r.GPUCoreHours()
 	}
-
-	samples, err := loadArtifact(dir, SamplesFile, func(f *os.File) ([]nvsmi.JobSample, error) {
-		return nvsmi.ReadSamples(f)
-	})
-	if err != nil {
-		return nil, err
-	}
 	rejoinAllocations(samples, jobs)
 	res.Samples = samples
-
-	snap, err := loadArtifact(dir, SnapshotFile, func(f *os.File) (nvsmi.Snapshot, error) {
-		return nvsmi.ReadSnapshot(f)
-	})
-	if err != nil {
-		return nil, err
-	}
 	res.Snapshot = snap
 
 	finishLoad(res)
@@ -193,66 +241,124 @@ func finishLoad(res *sim.Result) {
 // health ledger whose Clean() is true. An error is returned only when
 // nothing analyzable survives — every artifact missing or unreadable.
 func LoadResilient(dir string, cfg sim.Config, opts ingest.Options) (*sim.Result, *ingest.Health, error) {
+	return LoadResilientWorkers(dir, cfg, opts, runtime.GOMAXPROCS(0))
+}
+
+// LoadResilientWorkers is LoadResilient with explicit parallelism: the
+// four artifacts are ingested concurrently when workers > 1. The
+// recovering line mender is inherently sequential (torn-record rejoin
+// spans line boundaries), so each artifact stays a single stream, but
+// the four streams overlap. Health accounting, artifact order and the
+// assembled Result are identical at every width.
+func LoadResilientWorkers(dir string, cfg sim.Config, opts ingest.Options, workers int) (*sim.Result, *ingest.Health, error) {
 	res := &sim.Result{Config: cfg}
 	health := &ingest.Health{}
 
-	open := func(name string) (*os.File, *ingest.ArtifactHealth) {
+	// Each artifact ingests into its own slot; health entries are
+	// assembled in canonical file order afterwards so the ledger is
+	// deterministic no matter which stream finishes first.
+	var (
+		arts    [4]*ingest.ArtifactHealth
+		events  []console.Event
+		jobs    []scheduler.Record
+		samples []nvsmi.JobSample
+		snap    nvsmi.Snapshot
+	)
+	open := func(name string) *os.File {
 		f, err := ingest.OpenWithRetry(filepath.Join(dir, name), opts)
 		if err != nil {
-			a := ingest.MissingArtifact(name)
-			health.Artifacts = append(health.Artifacts, a)
-			return nil, a
+			return nil
 		}
-		return f, nil
+		return f
 	}
+	run := func(fns ...func()) {
+		if workers <= 1 {
+			for _, fn := range fns {
+				fn()
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, fn := range fns {
+			wg.Add(1)
+			go func(fn func()) {
+				defer wg.Done()
+				fn()
+			}(fn)
+		}
+		wg.Wait()
+	}
+	run(
+		func() {
+			f := open(ConsoleFile)
+			if f == nil {
+				arts[0] = ingest.MissingArtifact(ConsoleFile)
+				return
+			}
+			ev, h, err := ingest.IngestConsole(f, console.NewCorrelator(), opts)
+			f.Close()
+			h.Name = ConsoleFile
+			arts[0] = h
+			if err == nil || len(ev) > 0 {
+				events = ev
+			}
+		},
+		func() {
+			f := open(JobsFile)
+			if f == nil {
+				arts[1] = ingest.MissingArtifact(JobsFile)
+				return
+			}
+			j, h, err := ingest.IngestJobLog(f, opts)
+			f.Close()
+			h.Name = JobsFile
+			arts[1] = h
+			if err != nil && len(j) == 0 {
+				j = nil
+			}
+			jobs = j
+		},
+		func() {
+			f := open(SamplesFile)
+			if f == nil {
+				arts[2] = ingest.MissingArtifact(SamplesFile)
+				return
+			}
+			s, h, err := ingest.IngestSamples(f, opts)
+			f.Close()
+			h.Name = SamplesFile
+			arts[2] = h
+			if err == nil || len(s) > 0 {
+				samples = s
+			}
+		},
+		func() {
+			f := open(SnapshotFile)
+			if f == nil {
+				arts[3] = ingest.MissingArtifact(SnapshotFile)
+				return
+			}
+			sn, h, err := ingest.IngestSnapshot(f, opts)
+			f.Close()
+			h.Name = SnapshotFile
+			arts[3] = h
+			if err == nil || len(sn.Devices) > 0 {
+				snap = sn
+			}
+		},
+	)
+	health.Artifacts = append(health.Artifacts, arts[:]...)
 
-	if f, _ := open(ConsoleFile); f != nil {
-		events, h, err := ingest.IngestConsole(f, console.NewCorrelator(), opts)
-		f.Close()
-		h.Name = ConsoleFile
-		health.Artifacts = append(health.Artifacts, h)
-		if err == nil || len(events) > 0 {
-			res.Events = events
-		}
-	}
-
-	var jobs []scheduler.Record
-	if f, _ := open(JobsFile); f != nil {
-		var h *ingest.ArtifactHealth
-		var err error
-		jobs, h, err = ingest.IngestJobLog(f, opts)
-		f.Close()
-		h.Name = JobsFile
-		health.Artifacts = append(health.Artifacts, h)
-		if err != nil && len(jobs) == 0 {
-			jobs = nil
-		}
-	}
+	res.Events = events
 	res.Jobs = jobs
 	for _, r := range jobs {
 		res.NodeHours += r.GPUCoreHours()
 	}
-
-	if f, _ := open(SamplesFile); f != nil {
-		samples, h, err := ingest.IngestSamples(f, opts)
-		f.Close()
-		h.Name = SamplesFile
-		health.Artifacts = append(health.Artifacts, h)
-		if err == nil || len(samples) > 0 {
-			rejoinAllocations(samples, jobs)
-			res.Samples = samples
-		}
+	if samples != nil {
+		rejoinAllocations(samples, jobs)
+		res.Samples = samples
 	}
-
-	if f, _ := open(SnapshotFile); f != nil {
-		snap, h, err := ingest.IngestSnapshot(f, opts)
-		f.Close()
-		h.Name = SnapshotFile
-		health.Artifacts = append(health.Artifacts, h)
-		if err == nil || len(snap.Devices) > 0 {
-			res.Snapshot = snap
-		}
-	}
+	res.Snapshot = snap
 
 	allMissing := true
 	for _, a := range health.Artifacts {

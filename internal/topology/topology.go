@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Machine geometry constants for Titan.
@@ -111,6 +112,33 @@ func (l Location) CName() string {
 
 // String implements fmt.Stringer using the cname form.
 func (l Location) String() string { return l.CName() }
+
+// cnameTab interns the cname of every node slot. The table is built once
+// on first use; after that CNameOf hands out shared strings, which is
+// what keeps the console-log encoder allocation-free (a log renders each
+// node's cname millions of times, but there are only 19,200 distinct
+// ones).
+var (
+	cnameOnce sync.Once
+	cnameTab  []string
+)
+
+// CNameOf returns the interned cname for a node slot. Out-of-range IDs
+// fall back to rendering a fresh string so callers never index out of
+// bounds.
+func CNameOf(n NodeID) string {
+	if !n.Valid() {
+		return LocationOf(n).CName()
+	}
+	cnameOnce.Do(func() {
+		tab := make([]string, TotalNodes)
+		for i := range tab {
+			tab[i] = LocationOf(NodeID(i)).CName()
+		}
+		cnameTab = tab
+	})
+	return cnameTab[n]
+}
 
 // ParseCName parses a Cray component name of the form cX-YcCsSnN into a
 // Location. It returns an error when the syntax is malformed or any

@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench.sh — the fast-path I/O benchmark suite.
+#
+# Runs the codec and loader benchmarks (parse, decode, encode, dataset
+# load; serial vs parallel), records them in BENCH_io.json at the repo
+# root (ns/op, MB/s, B/op, allocs/op per benchmark), and enforces the
+# fast-path allocation budget: BenchmarkDecodeFast must stay at or under
+# 2 allocs/op, or the script exits non-zero.
+#
+#   BENCHTIME=1s ./scripts/bench.sh    # default 1s per benchmark
+#   BENCHTIME=5x ./scripts/bench.sh    # iteration-count mode, e.g. in CI
+#   BENCH_OUT=/tmp/b.json ...          # write elsewhere (check.sh smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${BENCH_OUT:-BENCH_io.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== console codec benchmarks (benchtime $BENCHTIME)"
+go test ./internal/console -run '^$' \
+    -bench '^(BenchmarkParseSerial|BenchmarkParseParallel|BenchmarkDecodeFast|BenchmarkEncodeSerial|BenchmarkEncodeParallel)$' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+echo "== dataset load benchmarks (benchtime $BENCHTIME)"
+go test ./internal/dataset -run '^$' \
+    -bench '^(BenchmarkLoadSerial|BenchmarkLoadParallel)$' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+    ns = mbs = bytes = allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "MB/s")      mbs = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (mbs == "" ? "null" : mbs), (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$RAW" > "$OUT"
+
+echo "== wrote $OUT"
+
+# Allocation budget: the zero-allocation decoder may spend at most
+# 2 allocs per decoded line (in practice it spends none).
+BUDGET=2
+ALLOCS=$(awk -F'"allocs_per_op": ' '/BenchmarkDecodeFast/ { sub(/[},].*/, "", $2); print $2 }' "$OUT")
+if [ -z "$ALLOCS" ]; then
+    echo "bench.sh: BenchmarkDecodeFast missing from $OUT" >&2
+    exit 1
+fi
+if [ "${ALLOCS%%.*}" -gt "$BUDGET" ]; then
+    echo "bench.sh: fast-path decode allocates $ALLOCS/op, budget is $BUDGET" >&2
+    exit 1
+fi
+echo "== fast-path decode allocs/op: $ALLOCS (budget $BUDGET)"
+echo "ok"

@@ -26,4 +26,10 @@ go test . -run '^$' -bench 'BenchmarkSimulationFullPeriod$' -benchtime 1x
 echo "== fuzz smoke (FuzzParseRawLine, 5s)"
 go test ./internal/console -run '^$' -fuzz FuzzParseRawLine -fuzztime 5s
 
+echo "== differential fuzz smoke (FuzzDecodeEquivalence, 5s)"
+go test ./internal/console -run '^$' -fuzz FuzzDecodeEquivalence -fuzztime 5s
+
+echo "== fast-path I/O benchmarks + allocation budget (bench.sh, 1 iteration)"
+BENCHTIME=1x BENCH_OUT="$(mktemp)" ./scripts/bench.sh
+
 echo "ok"
