@@ -1,0 +1,137 @@
+// Command titand runs the live reliability telemetry service: it accepts
+// raw console lines over HTTP, maintains the online per-node and
+// per-card GPU state (sliding XID rates, ECC counters, dynamic page
+// retirement), and runs the operator alert detectors plus optionally
+// armed precursor rules on the stream.
+//
+// Usage:
+//
+//	titand [-addr :9123] [-shards N] [-parse-workers N] [-queue N]
+//	       [-train console.log] [-min-support N] [-min-confidence F]
+//	       [-snapshot DIR] [-no-retain]
+//
+// Endpoints:
+//
+//	POST /ingest         newline-delimited console lines (202 accepted,
+//	                     429 + Retry-After when the queue sheds,
+//	                     503 while draining)
+//	GET  /nodes/{cname}  one node's online state as JSON
+//	GET  /alerts         every alert raised so far
+//	GET  /warnings       every armed-rule precursor warning issued
+//	GET  /stats          ingest/decode/apply counters as JSON
+//	GET  /metrics        the same in Prometheus text format
+//	GET  /healthz        liveness (reports "draining" during shutdown)
+//
+// SIGTERM or SIGINT drains gracefully: in-flight requests finish,
+// everything admitted is applied, and with -snapshot the retained event
+// log is flushed as a dataset-compatible directory that titanreport and
+// xidtool can load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/predict"
+	"titanre/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9123", "listen address")
+	shards := flag.Int("shards", 0, "per-node state shards (0 = GOMAXPROCS)")
+	parseWorkers := flag.Int("parse-workers", 0, "decode workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth in batches (0 = default 256)")
+	shardQueue := flag.Int("shard-queue", 0, "per-shard inbox depth (0 = default 1024)")
+	window := flag.Duration("window", 0, "sliding rate window (0 = default 24h)")
+	train := flag.String("train", "", "console.log to train the precursor predictor on (empty = no /warnings)")
+	minSupport := flag.Int("min-support", 0, "predictor minimum rule support (0 = default)")
+	minConfidence := flag.Float64("min-confidence", 0, "predictor minimum rule confidence (0 = default)")
+	snapshot := flag.String("snapshot", "", "directory for the dataset snapshot written on shutdown")
+	noRetain := flag.Bool("no-retain", false, "do not retain applied events (disables -snapshot, caps memory)")
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.ParseWorkers = *parseWorkers
+	cfg.QueueDepth = *queue
+	cfg.ShardQueueDepth = *shardQueue
+	if *window > 0 {
+		cfg.RateWindow = *window
+	}
+	cfg.SnapshotDir = *snapshot
+	cfg.RetainEvents = !*noRetain
+	if cfg.SnapshotDir != "" && !cfg.RetainEvents {
+		fatal(fmt.Errorf("-snapshot needs retained events; drop -no-retain"))
+	}
+
+	if *train != "" {
+		model, err := trainModel(*train, *minSupport, *minConfidence)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Model = model
+		fmt.Fprintf(os.Stderr, "titand: armed %d precursor rules from %s\n", len(model.Rules()), *train)
+		for _, r := range model.Rules() {
+			fmt.Fprintf(os.Stderr, "titand:   %v\n", r)
+		}
+	}
+
+	s := serve.NewServer(cfg)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "titand: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "titand: listening on %s\n", *addr)
+	if err := s.Serve(*addr); err != nil {
+		fatal(err)
+	}
+	if err := <-done; err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "titand: drained: %s\n", s)
+	if *snapshot != "" {
+		fmt.Fprintf(os.Stderr, "titand: snapshot written to %s\n", *snapshot)
+	}
+}
+
+// trainModel learns precursor rules from an archived console log.
+func trainModel(path string, minSupport int, minConfidence float64) (*predict.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c := console.NewCorrelator()
+	events, err := c.ParseAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("training log: %w", err)
+	}
+	console.SortEvents(events)
+	pcfg := predict.DefaultConfig()
+	if minSupport > 0 {
+		pcfg.MinSupport = minSupport
+	}
+	if minConfidence > 0 {
+		pcfg.MinConfidence = minConfidence
+	}
+	return predict.Train(events, pcfg), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "titand:", err)
+	os.Exit(1)
+}

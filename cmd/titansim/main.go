@@ -9,6 +9,7 @@
 // Usage:
 //
 //	titansim [-seed N] [-months M] [-out DIR] [-corrupt P] [-corrupt-seed N]
+//	titansim [-seed N] [-months M] -stream URL [-speedup F]
 //
 // -corrupt emits an adversarial dataset: after writing the artifacts, a
 // deterministic injector mutates them at per-line rate P the way real
@@ -17,16 +18,24 @@
 // and missing or partially-written artifact files. Same seeds, same
 // corrupted bytes; use it to exercise the recovering ingest path in
 // titanreport and xidtool.
+//
+// -stream sends the generated console log straight into a running titand
+// at URL instead of writing files: a lossless ordered replay (shed
+// batches are retried), optionally paced at -speedup times real time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"titanre/internal/console"
 	"titanre/internal/dataset"
 	"titanre/internal/ingest"
+	"titanre/internal/serve"
 	"titanre/internal/sim"
 	"titanre/internal/xid"
 )
@@ -38,6 +47,8 @@ func main() {
 	summary := flag.Bool("summary", false, "print per-XID counts instead of writing files")
 	corrupt := flag.Float64("corrupt", 0, "per-line corruption rate in [0,1]; 0 writes a clean dataset")
 	corruptSeed := flag.Int64("corrupt-seed", 0, "corruption injector seed (default: the simulation seed)")
+	stream := flag.String("stream", "", "stream the console log to a titand at this base URL instead of writing files")
+	speedup := flag.Float64("speedup", 0, "with -stream: replay at this multiple of real time (0 = as fast as admitted)")
 	flag.Parse()
 
 	if *corrupt < 0 || *corrupt > 1 {
@@ -68,6 +79,27 @@ func main() {
 		}
 		for _, info := range xid.All() {
 			fmt.Printf("%-8v %d\n", info.Code, counts[info.Code])
+		}
+		return
+	}
+
+	if *stream != "" {
+		// Pipe the encoder into the replay client so the full log never
+		// materializes in memory; ordered single-connection lossless
+		// streaming keeps titand's state batch-equivalent.
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(console.WriteLog(pw, res.Events))
+		}()
+		stats, err := serve.StreamLog(context.Background(), *stream, pr, serve.StreamOptions{
+			Speedup:  *speedup,
+			Retry429: true,
+		})
+		if stats != nil {
+			fmt.Fprintln(os.Stderr, "titansim:", stats)
+		}
+		if err != nil {
+			fatal(err)
 		}
 		return
 	}

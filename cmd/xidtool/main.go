@@ -234,7 +234,8 @@ func stats(args []string) {
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
 		usage()
 	}
-	events := parseLogFast(console.NewCorrelator(), fs.Arg(0), *loadWorkers)
+	correlator := console.NewCorrelator()
+	events := parseLogFast(correlator, fs.Arg(0), *loadWorkers)
 	counts := map[xid.Code]int{}
 	for _, e := range events {
 		counts[e.Code]++
@@ -252,6 +253,11 @@ func stats(args []string) {
 		}
 		fmt.Printf("%-8s %7d  %s\n", c, counts[c], name)
 	}
+	// Parser health, so operators see the decode mix and loss alongside
+	// the counts (on the recovering path the fast counters stay zero —
+	// that pipeline classifies with the regex rules directly).
+	fmt.Printf("decoder: %d fast-path, %d regex-fallback, %d chatter, %d malformed, %d oversized\n",
+		correlator.FastHits, correlator.FastFallbacks, correlator.Dropped, correlator.Malformed, correlator.Oversized)
 }
 
 func grep(args []string) {

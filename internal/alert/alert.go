@@ -239,6 +239,11 @@ func (e *Engine) Alerts() []Alert {
 	return out
 }
 
+// Count returns how many alerts have been raised so far, without
+// copying the backing slice — cheap enough for per-event bookkeeping on
+// a streaming path.
+func (e *Engine) Count() int { return len(e.alerts) }
+
 // OfKind filters the raised alerts.
 func (e *Engine) OfKind(k Kind) []Alert {
 	var out []Alert

@@ -1,0 +1,71 @@
+package alert
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// TestStreamMatchesBatch: an engine fed one event at a time — in
+// arbitrary chunk sizes, the way a streaming service delivers them —
+// raises byte-identical alerts to a batch Run over the same stream. The
+// stream exercises all four detectors.
+func TestStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var events []console.Event
+	at := t0
+	for i := 0; i < 4000; i++ {
+		at = at.Add(time.Duration(5+rng.Intn(90)) * time.Minute)
+		node := topology.NodeID(rng.Intn(200))
+		serial := gpu.Serial(1000 + rng.Intn(40))
+		job := console.JobID(1 + rng.Intn(500))
+		var code xid.Code
+		switch rng.Intn(10) {
+		case 0:
+			code = xid.DoubleBitError
+		case 1:
+			code = xid.OffTheBus
+		case 2, 3, 4:
+			code = xid.GraphicsEngineException // app-class, feeds SuspectNode
+		default:
+			code = []xid.Code{31, 32, 43, 44, 45, 57, 59, 62}[rng.Intn(8)]
+		}
+		events = append(events, console.Event{
+			Time: at, Node: node, Serial: serial, Code: code,
+			Job: job, Page: console.NoPage,
+		})
+	}
+
+	batch := NewEngine(DefaultConfig())
+	batch.Run(events)
+	want := batch.Alerts()
+	if len(want) == 0 {
+		t.Fatal("batch run raised no alerts; stream too weak to test equivalence")
+	}
+
+	stream := NewEngine(DefaultConfig())
+	for off := 0; off < len(events); {
+		n := 1 + rng.Intn(97)
+		if off+n > len(events) {
+			n = len(events) - off
+		}
+		for _, ev := range events[off : off+n] {
+			stream.Feed(ev)
+		}
+		off += n
+	}
+	got := stream.Alerts()
+	if len(got) != len(want) {
+		t.Fatalf("stream raised %d alerts, batch %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("alert %d diverges:\n  stream: %s\n  batch:  %s", i, got[i], want[i])
+		}
+	}
+}

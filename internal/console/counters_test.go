@@ -1,0 +1,78 @@
+package console
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// TestFastPathCounters checks the fast-hit/fallback accounting both on
+// the serial and the sharded parse path: canonical lines land on the
+// fast path, lines with a non-canonical bus id fall back to the regex
+// path but still decode, and the two paths' counters are identical.
+func TestFastPathCounters(t *testing.T) {
+	var lines []string
+	for i := 0; i < 40; i++ {
+		e := Event{
+			Time: time.Date(2014, 3, 1, 0, 0, i, 0, time.UTC),
+			Node: topology.NodeID(100 + i),
+			Code: xid.GraphicsEngineException,
+			Page: NoPage,
+			Job:  JobID(i + 1),
+		}
+		raw := e.Raw()
+		if i%4 == 0 {
+			// A deviating bus id matches the SEC rule but not the
+			// canonical re-encode: regex fallback territory.
+			raw = strings.Replace(raw, "0000:02:00.0", "0000:03:00.0", 1)
+		}
+		lines = append(lines, raw)
+	}
+	lines = append(lines, "plain chatter the rules drop")
+	log := strings.Join(lines, "\n") + "\n"
+
+	serial := NewCorrelator()
+	evSerial, err := serial.ParseAll(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evSerial) != 40 {
+		t.Fatalf("serial parse: %d events, want 40", len(evSerial))
+	}
+	// 10 deviating-bus-id lines plus the chatter line leave the fast
+	// path; fallbacks count every line the fast decoder could not claim,
+	// whether or not the regex path accepts it afterwards.
+	if serial.FastHits != 30 || serial.FastFallbacks != 11 {
+		t.Fatalf("serial counters: hits=%d fallbacks=%d, want 30/11",
+			serial.FastHits, serial.FastFallbacks)
+	}
+	if serial.Dropped != 1 {
+		t.Fatalf("serial dropped = %d, want 1", serial.Dropped)
+	}
+
+	sharded := NewCorrelator()
+	evSharded, err := sharded.ParseBytes([]byte(log), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evSharded) != len(evSerial) {
+		t.Fatalf("sharded parse: %d events, want %d", len(evSharded), len(evSerial))
+	}
+	if sharded.FastHits != serial.FastHits || sharded.FastFallbacks != serial.FastFallbacks {
+		t.Fatalf("sharded counters: hits=%d fallbacks=%d, want %d/%d",
+			sharded.FastHits, sharded.FastFallbacks, serial.FastHits, serial.FastFallbacks)
+	}
+
+	// A disarmed rule set (custom rules) never books fast-path counters.
+	custom := NewCorrelatorFromRules(NewCorrelator().Rules())
+	if _, err := custom.ParseAll(strings.NewReader(log)); err != nil {
+		t.Fatal(err)
+	}
+	if custom.FastHits != 0 || custom.FastFallbacks != 0 {
+		t.Fatalf("custom rule set booked fast counters: hits=%d fallbacks=%d",
+			custom.FastHits, custom.FastFallbacks)
+	}
+}

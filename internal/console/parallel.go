@@ -116,10 +116,12 @@ func trimEOL(b []byte) []byte {
 // shardResult is one worker's output: events in chunk order plus the
 // operational counters booked locally so workers never contend.
 type shardResult struct {
-	events    []Event
-	dropped   int
-	malformed int
-	oversized int
+	events        []Event
+	dropped       int
+	malformed     int
+	oversized     int
+	fastHits      int
+	fastFallbacks int
 }
 
 // ParseAllParallel is ParseAll over worker-count shards. The whole log is
@@ -188,6 +190,8 @@ func (c *Correlator) ParseBytes(data []byte, workers int) ([]Event, error) {
 		c.Dropped += results[i].dropped
 		c.Malformed += results[i].malformed
 		c.Oversized += results[i].oversized
+		c.FastHits += results[i].fastHits
+		c.FastFallbacks += results[i].fastFallbacks
 	}
 	return out, nil
 }
@@ -217,9 +221,11 @@ func (c *Correlator) parseShard(data []byte) shardResult {
 		}
 		if c.fast {
 			if ev, ok := d.DecodeRawBytes(line); ok {
+				res.fastHits++
 				res.events = append(res.events, ev)
 				continue
 			}
+			res.fastFallbacks++
 		}
 		ev, v := c.Classify(string(line))
 		switch v {

@@ -42,6 +42,13 @@ type Correlator struct {
 	// Oversized counts lines longer than the 1 MiB record cap; they are
 	// skipped and the parse resumes at the next newline.
 	Oversized int
+	// FastHits counts lines decoded entirely on the zero-allocation fast
+	// path; FastFallbacks counts lines a fast-armed correlator had to
+	// re-classify through the regex path (deviating bus ids, custom
+	// annotations, corruption). Both stay zero when the fast path is
+	// disarmed or the caller parses line-by-line through ParseLine.
+	FastHits      int
+	FastFallbacks int
 }
 
 var (
@@ -239,8 +246,10 @@ func (c *Correlator) ParseLine(line string) (ev Event, ok bool) {
 func (c *Correlator) parseLineBytes(d *Decoder, line []byte) (Event, bool) {
 	if c.fast {
 		if ev, ok := d.DecodeRawBytes(line); ok {
+			c.FastHits++
 			return ev, true
 		}
+		c.FastFallbacks++
 	}
 	return c.ParseLine(string(line))
 }

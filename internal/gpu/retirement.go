@@ -101,6 +101,16 @@ func (r *RetirementState) retire(page int32, cause RetireCause) {
 	delete(r.sbeSeen, page)
 }
 
+// RecordSBE is the exported form of the second-SBE retirement rule, for
+// online consumers (titand) that replay the machine from console
+// records rather than through a Card. It reports whether a retirement
+// fired.
+func (r *RetirementState) RecordSBE(page int32) bool { return r.recordSBE(page) }
+
+// RecordDBE is the exported form of the one-DBE retirement rule; see
+// RecordSBE.
+func (r *RetirementState) RecordDBE(page int32) bool { return r.recordDBE(page) }
+
 // Retired returns the InfoROM retirement list in retirement order.
 func (r *RetirementState) Retired() []RetiredPage {
 	out := make([]RetiredPage, len(r.retired))

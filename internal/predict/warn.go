@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/topology"
+)
+
+// Online warning emission.
+//
+// Evaluate replays a held-out stream after the fact; a live service needs
+// the same decision made one event at a time, as lines arrive. A Warner
+// arms a trained model's rule set and turns each precursor occurrence
+// into a Warning record immediately — the exact set Evaluate would have
+// counted, but available before the target fires, which is the entire
+// point of a precursor (the achieved lead time in the paper's related
+// work is only useful if the warning is issued online).
+
+// Warning is one issued precursor warning: the model saw a precursor
+// event and expects a target on the same node before the deadline.
+type Warning struct {
+	// Time and Node identify the precursor occurrence that fired the rule.
+	Time time.Time
+	Node topology.NodeID
+	// Precursor is the code that fired; Target and Confidence come from
+	// the strongest rule armed for it.
+	Precursor  console.EventCode
+	Target     console.EventCode
+	Confidence float64
+	// Deadline is Time + LeadWindow: past it the warning has expired.
+	Deadline time.Time
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("[%s] %s: %v observed — %v expected by %s (confidence %.2f)",
+		w.Time.UTC().Format("2006-01-02 15:04:05"), topology.CNameOf(w.Node),
+		w.Precursor, w.Target, w.Deadline.UTC().Format("15:04:05"), w.Confidence)
+}
+
+// Warner feeds events one at a time through a trained model's rule set
+// and accumulates the warnings it issues. Feeding a stream event by
+// event produces exactly the warnings WarningsOver returns on the same
+// slice (see TestWarnerMatchesBatch).
+type Warner struct {
+	m        *Model
+	warnings []Warning
+}
+
+// NewWarner arms the model's rules for streaming use.
+func NewWarner(m *Model) *Warner { return &Warner{m: m} }
+
+// Feed processes one event, returning the warning it issued (if any).
+// Target events themselves never warn; they are what warnings predict.
+func (w *Warner) Feed(ev console.Event) (Warning, bool) {
+	rules := w.m.rules[ev.Code]
+	if len(rules) == 0 {
+		return Warning{}, false
+	}
+	best := rules[0] // rule lists are sorted strongest-first at training
+	warn := Warning{
+		Time:       ev.Time,
+		Node:       ev.Node,
+		Precursor:  ev.Code,
+		Target:     best.Target,
+		Confidence: best.Confidence,
+		Deadline:   ev.Time.Add(w.m.cfg.LeadWindow),
+	}
+	w.warnings = append(w.warnings, warn)
+	return warn, true
+}
+
+// Warnings returns everything issued so far, in firing order.
+func (w *Warner) Warnings() []Warning {
+	out := make([]Warning, len(w.warnings))
+	copy(out, w.warnings)
+	return out
+}
+
+// WarningsOver is the batch form: the warnings a Warner issues over a
+// whole time-ordered stream. It emits a warning for exactly the events
+// Evaluate counts in Evaluation.Warnings.
+func (m *Model) WarningsOver(events []console.Event) []Warning {
+	w := NewWarner(m)
+	for _, ev := range events {
+		w.Feed(ev)
+	}
+	return w.warnings
+}

@@ -1,0 +1,59 @@
+package predict
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWarnerMatchesBatch: feeding a stream one event at a time issues
+// byte-identical warnings to the batch form, and the count agrees with
+// what Evaluate books as issued warnings on the same stream.
+func TestWarnerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := stream(rng, 800, 0.6)
+	train, test := SplitByTime(events, 0.5)
+	m := Train(train, testConfig())
+	if len(m.Rules()) == 0 {
+		t.Fatal("no rules learned; test stream too weak")
+	}
+
+	batch := m.WarningsOver(test)
+
+	w := NewWarner(m)
+	var incremental []Warning
+	for _, ev := range test {
+		if warn, ok := w.Feed(ev); ok {
+			incremental = append(incremental, warn)
+		}
+	}
+	if !reflect.DeepEqual(incremental, batch) {
+		t.Fatalf("incremental warnings diverge from batch: %d vs %d", len(incremental), len(batch))
+	}
+	if !reflect.DeepEqual(w.Warnings(), batch) {
+		t.Fatal("Warner.Warnings() diverges from batch")
+	}
+	for i := range batch {
+		if incremental[i].String() != batch[i].String() {
+			t.Fatalf("warning %d renders differently: %q vs %q", i, incremental[i], batch[i])
+		}
+	}
+
+	ev := m.Evaluate(test)
+	if ev.Warnings != len(batch) {
+		t.Fatalf("Evaluate booked %d warnings, Warner issued %d", ev.Warnings, len(batch))
+	}
+	if len(batch) == 0 {
+		t.Fatal("no warnings issued over the held-out half")
+	}
+
+	// Warnings predict the strongest rule's target and carry its deadline.
+	for _, warn := range batch {
+		if warn.Precursor != 13 || warn.Target != 43 {
+			t.Fatalf("unexpected rule on warning: %+v", warn)
+		}
+		if got := warn.Deadline.Sub(warn.Time); got != testConfig().LeadWindow {
+			t.Fatalf("deadline offset = %v, want %v", got, testConfig().LeadWindow)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+
+	"titanre/internal/console"
+)
+
+// The ingest pipeline.
+//
+//	POST /ingest ──▶ admission (bounded queue, shed on full)
+//	                   │ seq assigned per accepted batch
+//	                   ▼
+//	             parse workers ×N (fast-path decode, regex fallback)
+//	                   │ out of order
+//	                   ▼
+//	             reorder buffer (delivers in seq order)
+//	                   │
+//	                   ▼
+//	             applier ×1 (alert engine, precursor warner, retained log)
+//	                   │ per event
+//	                   ▼
+//	             node shards ×S (sliding windows, card counters, retirement)
+//
+// Parsing — the expensive step — fans out across workers; everything
+// order-sensitive happens either in the single applier (cross-node
+// detectors) or in the single shard owning the node (per-node state).
+// The reorder buffer re-establishes admission order between the two, so
+// the pipeline output for a given admission order is deterministic: a
+// client streaming a log in order through one connection gets exactly
+// the batch pipeline's alerts and warnings (TestStreamMatchesBatchHTTP).
+
+// batch is one admitted /ingest body.
+type batch struct {
+	seq  uint64
+	data []byte
+}
+
+// parsed is a decoded batch en route to the applier.
+type parsed struct {
+	seq    uint64
+	events []console.Event
+}
+
+// ingestQueue is the bounded admission queue. Sequence numbers are
+// assigned under the mutex together with the (non-blocking) enqueue, so
+// accepted sequence numbers are dense — the reorder buffer relies on
+// that to know when seq n is ready to apply.
+type ingestQueue struct {
+	mu     sync.Mutex
+	ch     chan batch
+	next   uint64
+	closed bool
+}
+
+func newIngestQueue(depth int) *ingestQueue {
+	return &ingestQueue{ch: make(chan batch, depth)}
+}
+
+// offer admits data, returning ok=false when the queue is full (load
+// shed) and closed=true when the server is draining.
+func (q *ingestQueue) offer(data []byte) (ok, closed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, true
+	}
+	select {
+	case q.ch <- batch{seq: q.next, data: data}:
+		q.next++
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// close stops admission and returns the total number of sequences ever
+// assigned; the reorder buffer drains exactly that many.
+func (q *ingestQueue) close() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	return q.next
+}
+
+func (q *ingestQueue) depth() int { return len(q.ch) }
+
+// reorder delivers parsed batches to the applier in admission order.
+type reorder struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready map[uint64][]console.Event
+	next  uint64
+	// limit is one past the last seq that will ever arrive; set at
+	// drain time (^uint64(0) while the server is live).
+	limit uint64
+}
+
+func newReorder() *reorder {
+	r := &reorder{ready: make(map[uint64][]console.Event), limit: ^uint64(0)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *reorder) deliver(p parsed) {
+	r.mu.Lock()
+	r.ready[p.seq] = p.events
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// seal announces that no sequence at or beyond limit will arrive.
+func (r *reorder) seal(limit uint64) {
+	r.mu.Lock()
+	r.limit = limit
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// take blocks until the next in-order batch is available; ok=false means
+// the stream is sealed and fully drained.
+func (r *reorder) take() (events []console.Event, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if evs, have := r.ready[r.next]; have {
+			delete(r.ready, r.next)
+			r.next++
+			return evs, true
+		}
+		if r.next >= r.limit {
+			return nil, false
+		}
+		r.cond.Wait()
+	}
+}
+
+// parseWorker drains the admission queue. Each worker owns a fast-armed
+// correlator and decoder; the per-worker operational counters are folded
+// into the shared metrics after every batch so /metrics lags a batch at
+// most.
+func (s *Server) parseWorker() {
+	defer s.parseWG.Done()
+	c := console.NewCorrelator()
+	var prevDropped, prevMalformed, prevOversized, prevHits, prevFallbacks int
+	for b := range s.queue.ch {
+		if g, _ := s.stallGate.Load().(chan struct{}); g != nil {
+			<-g
+		}
+		events, _ := c.ParseBytes(b.data, 1)
+		s.metrics.linesAccepted.Add(uint64(countLines(b.data)))
+		s.metrics.events.Add(uint64(len(events)))
+		s.metrics.dropped.Add(uint64(c.Dropped - prevDropped))
+		s.metrics.malformed.Add(uint64(c.Malformed - prevMalformed))
+		s.metrics.oversized.Add(uint64(c.Oversized - prevOversized))
+		s.metrics.fastHits.Add(uint64(c.FastHits - prevHits))
+		s.metrics.fastFallbacks.Add(uint64(c.FastFallbacks - prevFallbacks))
+		prevDropped, prevMalformed, prevOversized = c.Dropped, c.Malformed, c.Oversized
+		prevHits, prevFallbacks = c.FastHits, c.FastFallbacks
+		s.reorder.deliver(parsed{seq: b.seq, events: events})
+	}
+}
+
+// countLines counts newline-delimited records the way the parser will:
+// one per newline, plus a final unterminated line.
+func countLines(data []byte) int {
+	n := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// applier is the single goroutine owning all cross-node state: the
+// streaming alert engine, the armed precursor warner, per-code totals
+// and the retained event log for the shutdown snapshot. Everything it
+// owns is guarded by stateMu so the query handlers can read it.
+func (s *Server) applier() {
+	defer s.applyWG.Done()
+	for {
+		events, ok := s.reorder.take()
+		if !ok {
+			return
+		}
+		if len(events) == 0 {
+			s.appliedBatches.Add(1)
+			continue
+		}
+		s.stateMu.Lock()
+		for _, ev := range events {
+			before := s.alertEngine.Count()
+			s.alertEngine.Feed(ev)
+			if d := s.alertEngine.Count() - before; d > 0 {
+				s.metrics.alertsRaised.Add(uint64(d))
+			}
+			if s.warner != nil {
+				if _, warned := s.warner.Feed(ev); warned {
+					s.metrics.warningsIssued.Add(1)
+				}
+			}
+			s.codeTotals[ev.Code]++
+			if s.cfg.RetainEvents {
+				s.events = append(s.events, ev)
+			}
+		}
+		s.stateMu.Unlock()
+		for _, ev := range events {
+			s.shards.dispatch(ev)
+		}
+		s.metrics.eventsApplied.Add(uint64(len(events)))
+		s.appliedBatches.Add(1)
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Operational counters, exported in the Prometheus text exposition
+// format at /metrics. Everything is a plain atomic so the hot ingest
+// path pays one uncontended add per bookkeeping event; no external
+// metrics dependency is required (the container bakes in nothing beyond
+// the standard library).
+
+// latencyBuckets are the upper bounds (seconds) of the ingest-latency
+// histogram, chosen around the sub-millisecond-to-seconds range a local
+// ingest round trip spans.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// metrics is the full counter set. Batches are HTTP POST /ingest bodies;
+// lines are newline-delimited console records inside them.
+type metrics struct {
+	start time.Time
+
+	// Admission.
+	batchesAccepted atomic.Uint64
+	batchesShed     atomic.Uint64
+	batchesRejected atomic.Uint64 // malformed requests (not load shedding)
+	linesAccepted   atomic.Uint64 // lines in accepted batches (counted at parse)
+	linesShed       atomic.Uint64 // lines in shed batches (newline count)
+
+	// Decode (aggregated across parse workers).
+	events        atomic.Uint64 // lines that decoded into events
+	dropped       atomic.Uint64 // chatter: no SEC rule matched
+	malformed     atomic.Uint64 // rule matched but record undecodable
+	oversized     atomic.Uint64 // over the 1 MiB record cap
+	fastHits      atomic.Uint64 // zero-allocation fast-path decodes
+	fastFallbacks atomic.Uint64 // lines that fell back to the regex path
+
+	// State application.
+	eventsApplied atomic.Uint64
+	alertsRaised  atomic.Uint64
+	warningsIssued atomic.Uint64
+
+	// Ingest latency histogram (request admission to 202, seconds).
+	latCount atomic.Uint64
+	latSum   atomic.Uint64 // microseconds, to stay integral
+	latBkt   [13]atomic.Uint64
+}
+
+func newMetrics(now time.Time) *metrics { return &metrics{start: now} }
+
+// observeLatency books one ingest request round trip.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.latCount.Add(1)
+	m.latSum.Add(uint64(d.Microseconds()))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			m.latBkt[i].Add(1)
+			return
+		}
+	}
+	m.latBkt[len(latencyBuckets)].Add(1)
+}
+
+// snapshotGauges are point-in-time values rendered alongside the
+// counters; the server fills them at scrape time.
+type snapshotGauges struct {
+	queueDepth   int
+	queueCap     int
+	nodesTracked int
+	cardsTracked int
+	shards       int
+	draining     bool
+}
+
+// write renders the Prometheus text exposition. Counter names follow the
+// titand_ prefix convention; everything ends in _total except gauges.
+func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
+	bw := bufio.NewWriter(w)
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("titand_ingest_batches_accepted_total", "POST /ingest bodies admitted to the parse queue.", m.batchesAccepted.Load())
+	counter("titand_ingest_batches_shed_total", "POST /ingest bodies rejected with 429 because the queue was full.", m.batchesShed.Load())
+	counter("titand_ingest_batches_rejected_total", "POST /ingest bodies rejected as malformed (wrong method, oversized body, read error).", m.batchesRejected.Load())
+	counter("titand_ingest_lines_total", "Console lines read out of accepted batches.", m.linesAccepted.Load())
+	counter("titand_ingest_lines_shed_total", "Console lines discarded by load shedding (newline count of shed bodies).", m.linesShed.Load())
+	counter("titand_decode_events_total", "Lines that decoded into critical-event records.", m.events.Load())
+	counter("titand_decode_chatter_total", "Lines dropped because no SEC rule matched.", m.dropped.Load())
+	counter("titand_decode_malformed_total", "Lines that matched a rule but could not be decoded.", m.malformed.Load())
+	counter("titand_decode_oversized_total", "Lines over the 1 MiB record cap, skipped at the line reader.", m.oversized.Load())
+	counter("titand_decode_fast_hits_total", "Lines decoded on the zero-allocation fast path.", m.fastHits.Load())
+	counter("titand_decode_fast_fallbacks_total", "Lines that left the fast path for the regex fallback.", m.fastFallbacks.Load())
+	counter("titand_events_applied_total", "Events applied to the online state (global detectors + node shards).", m.eventsApplied.Load())
+	counter("titand_alerts_raised_total", "Operator alerts raised by the streaming detectors.", m.alertsRaised.Load())
+	counter("titand_warnings_issued_total", "Precursor warnings issued by the armed prediction rules.", m.warningsIssued.Load())
+
+	// Ingest latency histogram.
+	fmt.Fprintf(bw, "# HELP titand_ingest_latency_seconds Ingest request latency (admission to response).\n")
+	fmt.Fprintf(bw, "# TYPE titand_ingest_latency_seconds histogram\n")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += m.latBkt[i].Load()
+		fmt.Fprintf(bw, "titand_ingest_latency_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	}
+	cum += m.latBkt[len(latencyBuckets)].Load()
+	fmt.Fprintf(bw, "titand_ingest_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(bw, "titand_ingest_latency_seconds_sum %g\n", float64(m.latSum.Load())/1e6)
+	fmt.Fprintf(bw, "titand_ingest_latency_seconds_count %d\n", m.latCount.Load())
+
+	gauge("titand_queue_depth", "Parse-queue batches currently waiting.", float64(g.queueDepth))
+	gauge("titand_queue_capacity", "Parse-queue capacity in batches.", float64(g.queueCap))
+	gauge("titand_nodes_tracked", "Nodes with online reliability state.", float64(g.nodesTracked))
+	gauge("titand_cards_tracked", "GPU cards with online reliability state.", float64(g.cardsTracked))
+	gauge("titand_state_shards", "Per-node state shards.", float64(g.shards))
+	drain := 0.0
+	if g.draining {
+		drain = 1
+	}
+	gauge("titand_draining", "1 while the server is draining toward shutdown.", drain)
+	gauge("titand_uptime_seconds", "Seconds since the service started.", now.Sub(m.start).Seconds())
+	return bw.Flush()
+}

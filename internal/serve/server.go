@@ -1,0 +1,576 @@
+// Package serve is titand's engine: a streaming reliability-telemetry
+// service over the study's console-event pipeline. It accepts raw
+// console lines over HTTP, decodes them on the zero-allocation fast path
+// (regex fallback for deviating lines), folds them through sharded
+// per-node state actors — sliding-window XID rates, per-card error
+// counters and the dynamic page-retirement machine — and runs the
+// cross-node operator detectors (package alert) plus armed precursor
+// rules (package predict) online. State is served as JSON, operational
+// counters in the Prometheus text format.
+//
+// The service is explicitly overload-aware: admission is a bounded
+// queue, a full queue sheds load with 429 and exact dropped-line
+// accounting, and SIGTERM drains the pipeline before flushing the
+// retained event log to a dataset-compatible snapshot.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"titanre/internal/alert"
+	"titanre/internal/console"
+	"titanre/internal/predict"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Shards is the number of per-node state actors (default GOMAXPROCS).
+	Shards int
+	// ParseWorkers is the decode fan-out (default GOMAXPROCS).
+	ParseWorkers int
+	// QueueDepth is the admission queue capacity in batches (default 256).
+	// When it is full, POST /ingest sheds with 429.
+	QueueDepth int
+	// ShardQueueDepth bounds each state actor's inbox (default 1024
+	// events); a slow shard backpressures the applier and, through it,
+	// the admission queue.
+	ShardQueueDepth int
+	// MaxBodyBytes caps one /ingest body (default 8 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request end to end (default 10 s).
+	RequestTimeout time.Duration
+	// RateWindow is the sliding window for per-node XID rates
+	// (default 24 h, the paper's burst-detection horizon).
+	RateWindow time.Duration
+	// Alerts configures the streaming operator detectors.
+	Alerts alert.Config
+	// Model, when non-nil, arms its precursor rules; /warnings serves
+	// what they issue.
+	Model *predict.Model
+	// RetainEvents keeps every applied event in memory so a shutdown
+	// snapshot can be written (default true; the ingest benchmark turns
+	// it off).
+	RetainEvents bool
+	// SnapshotDir, when non-empty, receives a dataset-compatible
+	// snapshot of the retained events on Shutdown.
+	SnapshotDir string
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Shards:          runtime.GOMAXPROCS(0),
+		ParseWorkers:    runtime.GOMAXPROCS(0),
+		QueueDepth:      256,
+		ShardQueueDepth: 1024,
+		MaxBodyBytes:    8 << 20,
+		RequestTimeout:  10 * time.Second,
+		RateWindow:      24 * time.Hour,
+		Alerts:          alert.DefaultConfig(),
+		RetainEvents:    true,
+	}
+}
+
+// Server is one titand instance.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	queue   *ingestQueue
+	reorder *reorder
+	shards  *shardSet
+
+	// stateMu guards everything the applier owns.
+	stateMu     sync.Mutex
+	alertEngine *alert.Engine
+	warner      *predict.Warner
+	codeTotals  map[xid.Code]int
+	events      []console.Event
+
+	parseWG sync.WaitGroup
+	applyWG sync.WaitGroup
+	// stallGate, when holding a chan struct{}, makes parse workers block
+	// on it before each batch; the load-shedding test uses it to fill the
+	// admission queue deterministically.
+	stallGate atomic.Value
+	// appliedBatches counts batches fully applied AND dispatched; with
+	// dense sequence numbers it equals the applier's progress through
+	// the admitted stream (Quiesce compares it against queue.next).
+	appliedBatches atomic.Uint64
+
+	mux      *http.ServeMux
+	listener net.Listener
+	httpSrv  *http.Server
+
+	lifecycleMu sync.Mutex
+	started     bool
+	drained     bool
+	draining    bool
+}
+
+// NewServer builds a server; the pipeline goroutines start immediately
+// so a handler obtained from Handler can be used without Serve.
+func NewServer(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ParseWorkers <= 0 {
+		cfg.ParseWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.ShardQueueDepth <= 0 {
+		cfg.ShardQueueDepth = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.RateWindow <= 0 {
+		cfg.RateWindow = 24 * time.Hour
+	}
+	s := &Server{
+		cfg:         cfg,
+		metrics:     newMetrics(time.Now()),
+		queue:       newIngestQueue(cfg.QueueDepth),
+		reorder:     newReorder(),
+		shards:      newShardSet(cfg.Shards, cfg.RateWindow, cfg.ShardQueueDepth),
+		alertEngine: alert.NewEngine(cfg.Alerts),
+		codeTotals:  make(map[xid.Code]int),
+	}
+	if cfg.Model != nil {
+		s.warner = predict.NewWarner(cfg.Model)
+	}
+	for i := 0; i < cfg.ParseWorkers; i++ {
+		s.parseWG.Add(1)
+		go s.parseWorker()
+	}
+	s.applyWG.Add(1)
+	go s.applier()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /nodes/{cname}", s.handleNode)
+	s.mux.HandleFunc("GET /alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /warnings", s.handleWarnings)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler with the per-request timeout applied
+// to everything except /ingest (which enforces its own deadline so a
+// shed decision is still a fast 429, not a slow 503).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Serve listens on addr and serves until Shutdown.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return s.ServeListener(ln)
+}
+
+// ServeListener serves on an existing listener (tests inject one).
+func (s *Server) ServeListener(ln net.Listener) error {
+	s.lifecycleMu.Lock()
+	s.listener = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s.started = true
+	srv := s.httpSrv
+	s.lifecycleMu.Unlock()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// Addr returns the bound address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.lifecycleMu.Lock()
+	defer s.lifecycleMu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains gracefully: stop accepting connections (in-flight
+// requests complete), close the admission queue, wait for the parse
+// workers, the applier and the shard actors to drain everything already
+// admitted, then write the snapshot if configured. Safe to call more
+// than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifecycleMu.Lock()
+	if s.drained {
+		s.lifecycleMu.Unlock()
+		return nil
+	}
+	s.draining = true
+	srv := s.httpSrv
+	s.lifecycleMu.Unlock()
+
+	var httpErr error
+	if srv != nil {
+		httpErr = srv.Shutdown(ctx)
+	}
+
+	// Everything admitted before the queue closed gets applied; the
+	// reorder seal tells the applier where the stream ends.
+	limit := s.queue.close()
+	s.parseWG.Wait()
+	s.reorder.seal(limit)
+	s.applyWG.Wait()
+	s.shards.close()
+
+	s.lifecycleMu.Lock()
+	s.drained = true
+	s.lifecycleMu.Unlock()
+
+	if s.cfg.SnapshotDir != "" {
+		if err := s.WriteSnapshot(s.cfg.SnapshotDir); err != nil {
+			return err
+		}
+	}
+	return httpErr
+}
+
+// ---- Handlers ----
+
+// handleIngest admits one newline-delimited batch of console lines.
+// 202: admitted; 429: load shed (body X-Shed-Lines counts the discarded
+// lines); 503: draining; 400/413: malformed.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.metrics.batchesRejected.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, "body over limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		s.metrics.batchesRejected.Add(1)
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	ok, closed := s.queue.offer(body)
+	switch {
+	case ok:
+		s.metrics.batchesAccepted.Add(1)
+		s.metrics.observeLatency(time.Since(t0))
+		w.WriteHeader(http.StatusAccepted)
+	case closed:
+		s.metrics.batchesRejected.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	default:
+		shed := countLines(body)
+		s.metrics.batchesShed.Add(1)
+		s.metrics.linesShed.Add(uint64(shed))
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("X-Shed-Lines", fmt.Sprint(shed))
+		http.Error(w, "ingest queue full, batch shed", http.StatusTooManyRequests)
+	}
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	cname := r.PathValue("cname")
+	node, err := topology.ParseNodeID(cname)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad cname %q: %v", cname, err), http.StatusBadRequest)
+		return
+	}
+	view, ok := s.shards.nodeView(node)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no state for %s", cname), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, view)
+}
+
+// AlertView is the JSON shape of one raised alert.
+type AlertView struct {
+	Kind   string    `json:"kind"`
+	Time   time.Time `json:"time"`
+	Code   string    `json:"code"`
+	Node   string    `json:"node"`
+	Serial string    `json:"serial,omitempty"`
+	Count  int       `json:"count,omitempty"`
+	Detail string    `json:"detail"`
+	// Text is the canonical rendering — byte-identical to the batch
+	// pipeline's alert.Alert.String() for the same stream.
+	Text string `json:"text"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	s.stateMu.Lock()
+	alerts := s.alertEngine.Alerts()
+	s.stateMu.Unlock()
+	views := make([]AlertView, 0, len(alerts))
+	for _, a := range alerts {
+		v := AlertView{
+			Kind:   a.Kind.String(),
+			Time:   a.Time,
+			Code:   a.Code.String(),
+			Node:   topology.CNameOf(a.Node),
+			Count:  a.Count,
+			Detail: a.Detail,
+			Text:   a.String(),
+		}
+		if a.Serial != 0 {
+			v.Serial = a.Serial.String()
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, views)
+}
+
+// WarningView is the JSON shape of one issued precursor warning.
+type WarningView struct {
+	Time       time.Time `json:"time"`
+	Node       string    `json:"node"`
+	Precursor  string    `json:"precursor"`
+	Target     string    `json:"target"`
+	Confidence float64   `json:"confidence"`
+	Deadline   time.Time `json:"deadline"`
+	// Text is the canonical rendering, byte-identical to the batch
+	// pipeline's predict.Warning.String().
+	Text string `json:"text"`
+}
+
+func (s *Server) handleWarnings(w http.ResponseWriter, r *http.Request) {
+	s.stateMu.Lock()
+	var warnings []predict.Warning
+	if s.warner != nil {
+		warnings = s.warner.Warnings()
+	}
+	s.stateMu.Unlock()
+	views := make([]WarningView, 0, len(warnings))
+	for _, warn := range warnings {
+		views = append(views, WarningView{
+			Time:       warn.Time,
+			Node:       topology.CNameOf(warn.Node),
+			Precursor:  warn.Precursor.String(),
+			Target:     warn.Target.String(),
+			Confidence: warn.Confidence,
+			Deadline:   warn.Deadline,
+			Text:       warn.String(),
+		})
+	}
+	writeJSON(w, views)
+}
+
+// Stats is the /stats JSON document.
+type Stats struct {
+	UptimeSeconds   float64        `json:"uptime_seconds"`
+	BatchesAccepted uint64         `json:"batches_accepted"`
+	BatchesShed     uint64         `json:"batches_shed"`
+	BatchesRejected uint64         `json:"batches_rejected"`
+	LinesAccepted   uint64         `json:"lines_accepted"`
+	LinesShed       uint64         `json:"lines_shed"`
+	Events          uint64         `json:"events_decoded"`
+	EventsApplied   uint64         `json:"events_applied"`
+	Chatter         uint64         `json:"lines_chatter"`
+	Malformed       uint64         `json:"lines_malformed"`
+	Oversized       uint64         `json:"lines_oversized"`
+	FastHits        uint64         `json:"decode_fast_hits"`
+	FastFallbacks   uint64         `json:"decode_fast_fallbacks"`
+	AlertsRaised    uint64         `json:"alerts_raised"`
+	WarningsIssued  uint64         `json:"warnings_issued"`
+	QueueDepth      int            `json:"queue_depth"`
+	QueueCapacity   int            `json:"queue_capacity"`
+	NodesTracked    int            `json:"nodes_tracked"`
+	CardsTracked    int            `json:"cards_tracked"`
+	Shards          int            `json:"shards"`
+	EventsByCode    map[string]int `json:"events_by_code"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.StatsNow())
+}
+
+// StatsNow assembles the current /stats document.
+func (s *Server) StatsNow() Stats {
+	m := s.metrics
+	st := Stats{
+		UptimeSeconds:   time.Since(m.start).Seconds(),
+		BatchesAccepted: m.batchesAccepted.Load(),
+		BatchesShed:     m.batchesShed.Load(),
+		BatchesRejected: m.batchesRejected.Load(),
+		LinesAccepted:   m.linesAccepted.Load(),
+		LinesShed:       m.linesShed.Load(),
+		Events:          m.events.Load(),
+		EventsApplied:   m.eventsApplied.Load(),
+		Chatter:         m.dropped.Load(),
+		Malformed:       m.malformed.Load(),
+		Oversized:       m.oversized.Load(),
+		FastHits:        m.fastHits.Load(),
+		FastFallbacks:   m.fastFallbacks.Load(),
+		AlertsRaised:    m.alertsRaised.Load(),
+		WarningsIssued:  m.warningsIssued.Load(),
+		QueueDepth:      s.queue.depth(),
+		QueueCapacity:   s.cfg.QueueDepth,
+		Shards:          s.cfg.Shards,
+		EventsByCode:    map[string]int{},
+	}
+	st.NodesTracked, st.CardsTracked = s.trackedCounts()
+	s.stateMu.Lock()
+	for code, n := range s.codeTotals {
+		st.EventsByCode[code.String()] = n
+	}
+	s.stateMu.Unlock()
+	return st
+}
+
+// trackedCounts queries the shards unless the pipeline is already
+// drained (shard inboxes closed), in which case it reads them directly —
+// the actors are gone, so direct access is race-free.
+func (s *Server) trackedCounts() (nodes, cards int) {
+	s.lifecycleMu.Lock()
+	drained := s.drained
+	s.lifecycleMu.Unlock()
+	if !drained {
+		return s.shards.counts()
+	}
+	for _, sh := range s.shards.shards {
+		nodes += len(sh.nodes)
+		for _, ns := range sh.nodes {
+			cards += len(ns.cards)
+		}
+	}
+	return nodes, cards
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	nodes, cards := s.trackedCounts()
+	s.lifecycleMu.Lock()
+	draining := s.draining
+	s.lifecycleMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, snapshotGauges{
+		queueDepth:   s.queue.depth(),
+		queueCap:     s.cfg.QueueDepth,
+		nodesTracked: nodes,
+		cardsTracked: cards,
+		shards:       s.cfg.Shards,
+		draining:     draining,
+	}, time.Now())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.lifecycleMu.Lock()
+	draining := s.draining
+	s.lifecycleMu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status header is already out by the time Encode can fail, so
+	// a mid-body error has no better recovery than closing the stream.
+	_ = enc.Encode(v)
+}
+
+// AlertTexts returns the canonical renderings of every raised alert, in
+// firing order — the equivalence tests compare these against the batch
+// pipeline byte for byte.
+func (s *Server) AlertTexts() []string {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	out := make([]string, 0, s.alertEngine.Count())
+	for _, a := range s.alertEngine.Alerts() {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+// WarningTexts returns the canonical renderings of every issued
+// warning, in firing order.
+func (s *Server) WarningTexts() []string {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.warner == nil {
+		return nil
+	}
+	warnings := s.warner.Warnings()
+	out := make([]string, 0, len(warnings))
+	for _, w := range warnings {
+		out = append(out, w.String())
+	}
+	return out
+}
+
+// Quiesce blocks until everything admitted so far has been applied to
+// the online state — the streaming analogue of "the batch run
+// finished". It does not stop admission; tests and the replay client
+// call it between streaming and asserting.
+func (s *Server) Quiesce(ctx context.Context) error {
+	for {
+		s.queue.mu.Lock()
+		assigned := s.queue.next
+		s.queue.mu.Unlock()
+		if s.appliedBatches.Load() >= assigned {
+			// The applier dispatched everything; one barrier query per
+			// shard flushes the inboxes behind those dispatches (FIFO).
+			s.shards.queryAll(func(*shard) {})
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// stallForTest makes every parse worker block on gate before processing
+// its next batch. Closing the gate releases them for good (receives on a
+// closed channel return immediately).
+func (s *Server) stallForTest(gate chan struct{}) {
+	s.stallGate.Store(gate)
+}
+
+// String renders a one-line summary for logs.
+func (s *Server) String() string {
+	st := s.StatsNow()
+	return fmt.Sprintf("titand: %d lines in, %d events applied, %d shed, %d alerts, %d warnings, %d nodes tracked",
+		st.LinesAccepted, st.EventsApplied, st.LinesShed, st.AlertsRaised, st.WarningsIssued, st.NodesTracked)
+}

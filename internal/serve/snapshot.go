@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"fmt"
+
+	"titanre/internal/console"
+	"titanre/internal/dataset"
+	"titanre/internal/sim"
+)
+
+// Shutdown snapshot.
+//
+// A draining titand flushes its retained event log to a dataset
+// directory holding the same four artifacts a site keeps, so the batch
+// pipeline (titanreport, xidtool, dataset.Load) can pick up exactly
+// where the stream stopped. Only console.log carries data — the stream
+// never sees the job log or nvidia-smi sweeps — but the other three
+// artifacts are written as valid empty files so dataset.Load round-trips
+// without special cases.
+
+// WriteSnapshot flushes the retained events to dir as a loadable
+// dataset. Events are written in the total event order (the stream
+// normally arrives already ordered; sorting makes the snapshot canonical
+// even if it did not). It fails when the server was configured with
+// RetainEvents=false and has seen events, since the snapshot would
+// silently lose them.
+func (s *Server) WriteSnapshot(dir string) error {
+	s.stateMu.Lock()
+	events := make([]console.Event, len(s.events))
+	copy(events, s.events)
+	applied := s.metrics.eventsApplied.Load()
+	s.stateMu.Unlock()
+
+	if !s.cfg.RetainEvents && applied > 0 {
+		return fmt.Errorf("serve: snapshot of %d events requested but RetainEvents is off", applied)
+	}
+	console.SortEvents(events)
+	res := &sim.Result{Events: events}
+	if err := dataset.Write(dir, res); err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	return nil
+}
+
+// RetainedEvents returns a copy of the retained event log (what a
+// snapshot would contain, before canonical sorting).
+func (s *Server) RetainedEvents() []console.Event {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	out := make([]console.Event, len(s.events))
+	copy(out, s.events)
+	return out
+}

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// Sharded per-node state actors.
+//
+// Every node's online reliability state lives in exactly one shard
+// (shard = node mod Shards), and each shard is a single goroutine
+// consuming a FIFO inbox. The applier dispatches events in the global
+// ingest sequence order, so within a shard — and therefore within a node
+// — events are applied in exactly that order. Cross-shard interleaving
+// is scheduler-dependent but irrelevant: no state spans two nodes, so
+// per-node state is deterministic for a given ingest order no matter how
+// the shards are scheduled (the determinism argument of DESIGN §4d).
+// Cross-node state (the alert engine, the precursor warner) is not
+// sharded at all; it runs in the single applier goroutine.
+
+// windowEntry is one event in a node's sliding rate window.
+type windowEntry struct {
+	at   time.Time
+	code xid.Code
+}
+
+// cardState is the per-GPU online state: console-visible error counters
+// and the dynamic page-retirement machine replayed from the stream.
+type cardState struct {
+	serial gpu.Serial
+	// dbeEvents counts console DBE incidents; sbeInferred counts the
+	// corrected single-bit errors implied by two-SBE retirement records
+	// (the console never carries SBEs directly — Observation 2's
+	// accounting gap — so the stream can only see the ones that retired
+	// a page).
+	dbeEvents   int
+	sbeInferred int
+	// counts books per-structure DBEs the way an InfoROM would.
+	counts gpu.ErrorCounts
+	// retirement is the same state machine the simulator's cards run,
+	// driven here by the console records that surface its transitions.
+	retirement gpu.RetirementState
+	lastSeen   time.Time
+}
+
+// nodeState is everything titand knows about one node.
+type nodeState struct {
+	node      topology.NodeID
+	total     int
+	byCode    map[xid.Code]int
+	window    []windowEntry // pruned to the configured rate window
+	firstSeen time.Time
+	lastSeen  time.Time
+	cards     map[gpu.Serial]*cardState
+}
+
+// shard is one state actor: a goroutine draining an inbox of events and
+// queries. Queries travel the same channel as events, so a query
+// observes every event dispatched before it (read-your-writes for the
+// HTTP handlers).
+type shard struct {
+	inbox  chan shardMsg
+	window time.Duration
+	nodes  map[topology.NodeID]*nodeState
+}
+
+// shardMsg is either an event to apply (query == nil) or a query closure
+// run on the shard's goroutine.
+type shardMsg struct {
+	ev    console.Event
+	query func(*shard)
+}
+
+func newShard(window time.Duration, depth int) *shard {
+	return &shard{
+		inbox:  make(chan shardMsg, depth),
+		window: window,
+		nodes:  make(map[topology.NodeID]*nodeState),
+	}
+}
+
+// run drains the inbox until it is closed; done is closed on exit.
+func (s *shard) run(done *sync.WaitGroup) {
+	defer done.Done()
+	for msg := range s.inbox {
+		if msg.query != nil {
+			msg.query(s)
+			continue
+		}
+		s.apply(msg.ev)
+	}
+}
+
+// apply folds one event into the node's online state.
+func (s *shard) apply(ev console.Event) {
+	ns := s.nodes[ev.Node]
+	if ns == nil {
+		ns = &nodeState{
+			node:      ev.Node,
+			byCode:    make(map[xid.Code]int),
+			cards:     make(map[gpu.Serial]*cardState),
+			firstSeen: ev.Time,
+		}
+		s.nodes[ev.Node] = ns
+	}
+	ns.total++
+	ns.byCode[ev.Code]++
+	ns.lastSeen = ev.Time
+
+	// Sliding rate window, pruned against the newest event time. Pruning
+	// by event time (not wall clock) keeps replayed history meaningful at
+	// any speedup.
+	ns.window = append(ns.window, windowEntry{at: ev.Time, code: ev.Code})
+	cutoff := ev.Time.Add(-s.window)
+	trim := 0
+	for trim < len(ns.window) && !ns.window[trim].at.After(cutoff) {
+		trim++
+	}
+	if trim > 0 {
+		ns.window = append(ns.window[:0], ns.window[trim:]...)
+	}
+
+	if ev.Serial == 0 {
+		return // no card context on the line
+	}
+	cs := ns.cards[ev.Serial]
+	if cs == nil {
+		cs = &cardState{serial: ev.Serial}
+		// The service is online-era by definition: any retirement
+		// record it sees comes from a driver with the feature on.
+		cs.retirement.Enabled = true
+		ns.cards[ev.Serial] = cs
+	}
+	cs.lastSeen = ev.Time
+	switch ev.Code {
+	case xid.DoubleBitError:
+		cs.dbeEvents++
+		st := gpu.DeviceMemory
+		if ev.StructureValid {
+			st = ev.Structure
+		}
+		cs.counts.DoubleBit[st]++
+		if st == gpu.DeviceMemory && ev.Page >= 0 {
+			cs.retirement.RecordDBE(ev.Page)
+		}
+	case xid.ECCPageRetirement:
+		// The driver's DBE-retirement record; the triggering XID 48
+		// usually arrived first and already retired the page, in which
+		// case this is a no-op on the machine.
+		if ev.Page >= 0 {
+			cs.retirement.RecordDBE(ev.Page)
+		}
+	case xid.ECCPageRetirementAlt:
+		// Two corrected SBEs on one page: the console's only window
+		// into the SBE stream.
+		if ev.Page >= 0 {
+			cs.sbeInferred += 2
+			cs.retirement.RecordSBE(ev.Page)
+			cs.retirement.RecordSBE(ev.Page)
+		}
+	}
+}
+
+// ---- JSON views (assembled on the shard goroutine, returned by value) ----
+
+// CardView is the JSON shape of one card's online state.
+type CardView struct {
+	Serial       string    `json:"serial"`
+	DBEEvents    int       `json:"dbe_events"`
+	SBEInferred  int       `json:"sbe_inferred"`
+	RetiredPages int       `json:"retired_pages"`
+	PendingSBE   int       `json:"pending_sbe_pages"`
+	Headroom     int       `json:"retirement_headroom"`
+	Exhausted    bool      `json:"retirement_exhausted"`
+	LastSeen     time.Time `json:"last_seen"`
+}
+
+// NodeView is the JSON shape of one node's online state.
+type NodeView struct {
+	Node        string         `json:"node"`
+	Total       int            `json:"events_total"`
+	ByCode      map[string]int `json:"events_by_code"`
+	WindowCount int            `json:"window_events"`
+	WindowHours float64        `json:"window_hours"`
+	// RatePerHour is the sliding-window XID rate: window events divided
+	// by the window span.
+	RatePerHour float64   `json:"rate_per_hour"`
+	FirstSeen   time.Time `json:"first_seen"`
+	LastSeen    time.Time `json:"last_seen"`
+	Cards       []CardView `json:"cards"`
+}
+
+func (s *shard) viewOf(ns *nodeState) NodeView {
+	v := NodeView{
+		Node:        topology.CNameOf(ns.node),
+		Total:       ns.total,
+		ByCode:      make(map[string]int, len(ns.byCode)),
+		WindowCount: len(ns.window),
+		WindowHours: s.window.Hours(),
+		FirstSeen:   ns.firstSeen,
+		LastSeen:    ns.lastSeen,
+	}
+	if s.window > 0 {
+		v.RatePerHour = float64(len(ns.window)) / s.window.Hours()
+	}
+	for code, n := range ns.byCode {
+		v.ByCode[code.String()] = n
+	}
+	serials := make([]gpu.Serial, 0, len(ns.cards))
+	for serial := range ns.cards {
+		serials = append(serials, serial)
+	}
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
+	for _, serial := range serials {
+		cs := ns.cards[serial]
+		v.Cards = append(v.Cards, CardView{
+			Serial:       cs.serial.String(),
+			DBEEvents:    cs.dbeEvents,
+			SBEInferred:  cs.sbeInferred,
+			RetiredPages: len(cs.retirement.Retired()),
+			PendingSBE:   cs.retirement.PendingSBEPages(),
+			Headroom:     cs.retirement.Headroom(),
+			Exhausted:    cs.retirement.Exhausted(),
+			LastSeen:     cs.lastSeen,
+		})
+	}
+	return v
+}
+
+// ---- The shard set ----
+
+type shardSet struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+func newShardSet(n int, window time.Duration, depth int) *shardSet {
+	set := &shardSet{shards: make([]*shard, n)}
+	for i := range set.shards {
+		set.shards[i] = newShard(window, depth)
+		set.wg.Add(1)
+		go set.shards[i].run(&set.wg)
+	}
+	return set
+}
+
+// dispatch routes one event to its node's shard, blocking when the
+// shard's inbox is full (backpressure toward the ingest queue).
+func (s *shardSet) dispatch(ev console.Event) {
+	s.shards[int(uint(ev.Node)%uint(len(s.shards)))].inbox <- shardMsg{ev: ev}
+}
+
+// query runs fn on the shard owning node and waits for it.
+func (s *shardSet) query(node topology.NodeID, fn func(*shard)) {
+	done := make(chan struct{})
+	s.shards[int(uint(node)%uint(len(s.shards)))].inbox <- shardMsg{query: func(sh *shard) {
+		fn(sh)
+		close(done)
+	}}
+	<-done
+}
+
+// queryAll runs fn on every shard (concurrently) and waits for all.
+func (s *shardSet) queryAll(fn func(*shard)) {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		sh.inbox <- shardMsg{query: func(sh *shard) {
+			fn(sh)
+			wg.Done()
+		}}
+	}
+	wg.Wait()
+}
+
+// nodeView fetches one node's view; ok is false when the node has no
+// state yet.
+func (s *shardSet) nodeView(node topology.NodeID) (NodeView, bool) {
+	var v NodeView
+	var ok bool
+	s.query(node, func(sh *shard) {
+		if ns := sh.nodes[node]; ns != nil {
+			v = sh.viewOf(ns)
+			ok = true
+		}
+	})
+	return v, ok
+}
+
+// counts returns the tracked node and card totals.
+func (s *shardSet) counts() (nodes, cards int) {
+	var mu sync.Mutex
+	s.queryAll(func(sh *shard) {
+		n, c := 0, 0
+		for _, ns := range sh.nodes {
+			n++
+			c += len(ns.cards)
+		}
+		mu.Lock()
+		nodes += n
+		cards += c
+		mu.Unlock()
+	})
+	return nodes, cards
+}
+
+// close shuts the inboxes and waits for the actors to drain and exit.
+func (s *shardSet) close() {
+	for _, sh := range s.shards {
+		close(sh.inbox)
+	}
+	s.wg.Wait()
+}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — the fast-path I/O benchmark suite.
+# bench.sh — the fast-path I/O and titand ingest benchmark suite.
 #
 # Runs the codec and loader benchmarks (parse, decode, encode, dataset
 # load; serial vs parallel), records them in BENCH_io.json at the repo
@@ -7,9 +7,17 @@
 # fast-path allocation budget: BenchmarkDecodeFast must stay at or under
 # 2 allocs/op, or the script exits non-zero.
 #
+# Then runs the titand ingest benchmark (internal/serve harness): a
+# lossless capacity replay over loopback HTTP, and an overload replay at
+# 2x a metered drain rate that must shed with 429s rather than stall.
+# The result lands in BENCH_serve.json (capacity lines/s, p99 ingest
+# latency, shed fraction under overload); the harness itself enforces
+# the 100k lines/s capacity floor.
+#
 #   BENCHTIME=1s ./scripts/bench.sh    # default 1s per benchmark
 #   BENCHTIME=5x ./scripts/bench.sh    # iteration-count mode, e.g. in CI
 #   BENCH_OUT=/tmp/b.json ...          # write elsewhere (check.sh smoke)
+#   BENCH_SERVE_OUT=/tmp/s.json ...    # ditto for the ingest benchmark
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -64,4 +72,23 @@ if [ "${ALLOCS%%.*}" -gt "$BUDGET" ]; then
     exit 1
 fi
 echo "== fast-path decode allocs/op: $ALLOCS (budget $BUDGET)"
+
+SERVE_OUT="${BENCH_SERVE_OUT:-BENCH_serve.json}"
+# go test runs the harness with the package dir as its working directory,
+# so a relative output path must be anchored to the repo root first.
+case "$SERVE_OUT" in
+    /*) ;;
+    *) SERVE_OUT="$(pwd)/$SERVE_OUT" ;;
+esac
+echo "== titand ingest benchmark (capacity + overload shedding)"
+SERVE_RAW="$(mktemp)"
+if ! BENCH_SERVE_OUT="$SERVE_OUT" go test ./internal/serve \
+        -run '^TestIngestBenchHarness$' -count=1 -v > "$SERVE_RAW" 2>&1; then
+    cat "$SERVE_RAW" >&2
+    rm -f "$SERVE_RAW"
+    exit 1
+fi
+grep -E 'capacity:|overload' "$SERVE_RAW" || true
+rm -f "$SERVE_RAW"
+echo "== wrote $SERVE_OUT"
 echo "ok"

@@ -20,6 +20,11 @@ echo "== determinism under contention (GOMAXPROCS=2, race mode)"
 GOMAXPROCS=2 go test -race ./internal/sim -run TestRunIdenticalAcrossGOMAXPROCS
 GOMAXPROCS=2 go test -race ./internal/core -run 'TestDigestsAcrossGOMAXPROCS|TestReportGolden'
 
+echo "== stream-vs-batch equivalence soak (titand pipeline, race mode)"
+go test -race ./internal/serve -run 'TestStreamMatchesBatchHTTP|TestShutdown' -count=2
+go test -race ./internal/alert -run TestStreamMatchesBatch -count=2
+go test -race ./internal/predict -run TestWarnerMatchesBatch -count=2
+
 echo "== benchmark smoke (full-period simulation, one iteration)"
 go test . -run '^$' -bench 'BenchmarkSimulationFullPeriod$' -benchtime 1x
 
@@ -30,6 +35,6 @@ echo "== differential fuzz smoke (FuzzDecodeEquivalence, 5s)"
 go test ./internal/console -run '^$' -fuzz FuzzDecodeEquivalence -fuzztime 5s
 
 echo "== fast-path I/O benchmarks + allocation budget (bench.sh, 1 iteration)"
-BENCHTIME=1x BENCH_OUT="$(mktemp)" ./scripts/bench.sh
+BENCHTIME=1x BENCH_OUT="$(mktemp)" BENCH_SERVE_OUT="$(mktemp)" ./scripts/bench.sh
 
 echo "ok"

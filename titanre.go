@@ -259,6 +259,17 @@ func SplitEventsByTime(events []Event, frac float64) (train, test []Event) {
 	return predict.SplitByTime(events, frac)
 }
 
+// PrecursorWarning is one online precursor warning issued by a Warner.
+type PrecursorWarning = predict.Warning
+
+// PrecursorWarner feeds events one at a time through a trained
+// predictor and issues warnings online — the streaming counterpart of
+// held-out evaluation, and what titand serves at /warnings.
+type PrecursorWarner = predict.Warner
+
+// NewPrecursorWarner arms a trained predictor's rules for streaming use.
+func NewPrecursorWarner(m *Predictor) *PrecursorWarner { return predict.NewWarner(m) }
+
 // WriteDataset stores a result's artifacts (console.log, jobs.tsv,
 // samples.tsv, snapshot.tsv) into a directory.
 func WriteDataset(dir string, res *Result) error { return dataset.Write(dir, res) }
