@@ -8,24 +8,42 @@
 //
 //	titand [-addr :9123] [-shards N] [-parse-workers N] [-queue N]
 //	       [-train console.log] [-min-support N] [-min-confidence F]
-//	       [-snapshot DIR] [-no-retain]
+//	       [-snapshot DIR] [-no-retain] [-warm-dir DIR]
+//	       [-compact-dir DIR] [-compact-interval D] [-compact-age D]
+//	       [-compact-min N]
 //
 // Endpoints:
 //
-//	POST /ingest         newline-delimited console lines (202 accepted,
-//	                     429 + Retry-After when the queue sheds,
-//	                     503 while draining)
-//	GET  /nodes/{cname}  one node's online state as JSON
-//	GET  /alerts         every alert raised so far
-//	GET  /warnings       every armed-rule precursor warning issued
-//	GET  /stats          ingest/decode/apply counters as JSON
-//	GET  /metrics        the same in Prometheus text format
-//	GET  /healthz        liveness (reports "draining" during shutdown)
+//	POST /ingest                 newline-delimited console lines (202
+//	                             accepted, 429 + Retry-After when the
+//	                             queue sheds, 503 while draining)
+//	GET  /nodes/{cname}          one node's online state as JSON
+//	GET  /nodes/{cname}/history  the node's full event history — sealed
+//	                             segments plus the retained tail —
+//	                             optionally bounded by ?since=/?until=
+//	GET  /alerts                 every alert raised so far
+//	GET  /warnings               every armed-rule precursor warning issued
+//	GET  /stats                  ingest/decode/apply counters as JSON
+//	GET  /metrics                the same in Prometheus text format
+//	GET  /healthz                liveness (reports "draining" during
+//	                             shutdown)
 //
 // SIGTERM or SIGINT drains gracefully: in-flight requests finish,
 // everything admitted is applied, and with -snapshot the retained event
 // log is flushed as a dataset-compatible directory that titanreport and
 // xidtool can load.
+//
+// With -compact-dir the daemon runs with bounded memory: a background
+// loop periodically seals retained events older than -compact-age into
+// columnar segments on disk and drops them from the heap; /history and
+// the shutdown snapshot read sealed and retained state together, so
+// nothing is lost. -warm-dir DIR is the one-flag state directory: the
+// shutdown snapshot goes to DIR, segments to DIR/segments, and at boot
+// any history found there is replayed so the daemon resumes with its
+// windows, retirement machines, alert and precursor state exactly as
+// the previous incarnation left them. A missing directory is a cold
+// start, so the same command line works on first boot and every
+// restart.
 package main
 
 import (
@@ -34,10 +52,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"titanre/internal/console"
+	"titanre/internal/dataset"
 	"titanre/internal/predict"
 	"titanre/internal/serve"
 )
@@ -54,6 +74,11 @@ func main() {
 	minConfidence := flag.Float64("min-confidence", 0, "predictor minimum rule confidence (0 = default)")
 	snapshot := flag.String("snapshot", "", "directory for the dataset snapshot written on shutdown")
 	noRetain := flag.Bool("no-retain", false, "do not retain applied events (disables -snapshot, caps memory)")
+	warmDir := flag.String("warm-dir", "", "state directory: replay its history at boot, snapshot to it and compact into its segments subdirectory")
+	compactDir := flag.String("compact-dir", "", "seal aged retained events into columnar segments under this directory (default <warm-dir>/segments)")
+	compactInterval := flag.Duration("compact-interval", 0, "background compaction period (0 = default 1m)")
+	compactAge := flag.Duration("compact-age", 0, "events older than this, by stream time, are sealed (0 = default 10m)")
+	compactMin := flag.Int("compact-min", 0, "minimum sealable events before a compaction runs (0 = default 1024)")
 	flag.Parse()
 
 	cfg := serve.DefaultConfig()
@@ -66,8 +91,23 @@ func main() {
 	}
 	cfg.SnapshotDir = *snapshot
 	cfg.RetainEvents = !*noRetain
+	cfg.CompactDir = *compactDir
+	cfg.CompactInterval = *compactInterval
+	cfg.CompactAge = *compactAge
+	cfg.CompactMin = *compactMin
+	if *warmDir != "" {
+		if cfg.SnapshotDir == "" {
+			cfg.SnapshotDir = *warmDir
+		}
+		if cfg.CompactDir == "" {
+			cfg.CompactDir = filepath.Join(*warmDir, dataset.SegmentsDir)
+		}
+	}
 	if cfg.SnapshotDir != "" && !cfg.RetainEvents {
 		fatal(fmt.Errorf("-snapshot needs retained events; drop -no-retain"))
+	}
+	if cfg.CompactDir != "" && !cfg.RetainEvents {
+		fatal(fmt.Errorf("-compact-dir needs retained events; drop -no-retain"))
 	}
 
 	if *train != "" {
@@ -83,6 +123,20 @@ func main() {
 	}
 
 	s := serve.NewServer(cfg)
+
+	if *warmDir != "" {
+		ws, err := s.WarmStart(*warmDir)
+		if err != nil {
+			fatal(err)
+		}
+		if ws.Replayed > 0 {
+			src := "console.log"
+			if ws.FromSegments {
+				src = "sealed segments"
+			}
+			fmt.Fprintf(os.Stderr, "titand: warm start: replayed %d events from %s in %s\n", ws.Replayed, src, *warmDir)
+		}
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -103,8 +157,8 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "titand: drained: %s\n", s)
-	if *snapshot != "" {
-		fmt.Fprintf(os.Stderr, "titand: snapshot written to %s\n", *snapshot)
+	if cfg.SnapshotDir != "" {
+		fmt.Fprintf(os.Stderr, "titand: snapshot written to %s\n", cfg.SnapshotDir)
 	}
 }
 

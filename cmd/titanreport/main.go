@@ -16,7 +16,11 @@
 // The command exits non-zero when ingestion fails outright (no readable
 // artifacts). -load-workers widens the load: the four artifacts are read
 // concurrently and the console log is parsed in newline-aligned shards;
-// the loaded dataset is identical at any width.
+// the loaded dataset is identical at any width. -write-segments seals
+// the dataset's console events into columnar segments (DIR/segments);
+// once sealed, -strict loads skip the console parse entirely and the
+// study runs its per-code index off the segment bitmaps — the report
+// bytes are identical either way.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	export := flag.String("export", "", "also write per-figure TSV data files into this directory")
 	data := flag.String("data", "", "analyze a dataset directory written by titansim instead of simulating")
 	strict := flag.Bool("strict", false, "fail fast on any dataset corruption instead of quarantining")
+	writeSegments := flag.Bool("write-segments", false, "seal the dataset's console events into columnar segments (DIR/segments) so later loads skip the console parse")
 	quarantine := flag.String("quarantine", "", "write the quarantine (dead-letter) log to this file")
 	workers := flag.Int("report-workers", runtime.GOMAXPROCS(0), "goroutines rendering report sections (output is identical at any value)")
 	loadWorkers := flag.Int("load-workers", runtime.GOMAXPROCS(0), "goroutines loading dataset artifacts and parsing console shards (result is identical at any value)")
@@ -62,12 +67,24 @@ func main() {
 			cfg.Start, cfg.End = time.Time{}, time.Time{}
 		}
 		if *strict {
-			res, err := dataset.LoadWorkers(*data, cfg, *loadWorkers)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "titanreport:", err)
-				os.Exit(1)
+			if dataset.HasSegments(*data) {
+				// Columnar fast path: events come from the sealed
+				// segments (no console re-parse) and the study runs its
+				// index off the per-code bitmaps.
+				res, st, err := dataset.LoadStoreWorkers(*data, cfg, *loadWorkers)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "titanreport:", err)
+					os.Exit(1)
+				}
+				study = core.FromStore(res, st)
+			} else {
+				res, err := dataset.LoadWorkers(*data, cfg, *loadWorkers)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "titanreport:", err)
+					os.Exit(1)
+				}
+				study = core.FromResult(res)
 			}
-			study = core.FromResult(res)
 		} else {
 			res, health, err := dataset.LoadResilientWorkers(*data, cfg, ingest.DefaultOptions(), *loadWorkers)
 			if health != nil && !health.Clean() {
@@ -87,6 +104,22 @@ func main() {
 		}
 	} else {
 		study = core.New(cfg)
+	}
+
+	if *writeSegments {
+		if *data == "" {
+			fmt.Fprintln(os.Stderr, "titanreport: -write-segments requires -data")
+			os.Exit(1)
+		}
+		if dataset.HasSegments(*data) {
+			fmt.Fprintf(os.Stderr, "%s already has sealed segments\n", *data)
+		} else {
+			if err := dataset.WriteSegments(*data, study.Events(), 0); err != nil {
+				fmt.Fprintln(os.Stderr, "titanreport:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sealed %d events into %s/%s\n", len(study.Events()), *data, dataset.SegmentsDir)
+		}
 	}
 
 	if *export != "" {

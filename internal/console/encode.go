@@ -110,6 +110,27 @@ func WriteLog(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
+// WriteLogStream renders events pulled from next — until it reports
+// done — as raw console lines, one per line, in the order yielded. It
+// writes the same bytes WriteLog would for the materialized sequence
+// without requiring the caller to hold that sequence in memory.
+func WriteLogStream(w io.Writer, next func() (Event, bool)) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var buf []byte
+	for {
+		ev, ok := next()
+		if !ok {
+			break
+		}
+		buf = ev.AppendRaw(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("console: writing log: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
 // WriteLogParallel renders the same bytes as WriteLog but encodes
 // contiguous event shards concurrently, each into its own buffer, and
 // writes the buffers in shard order. Output is byte-identical to

@@ -34,12 +34,26 @@ type studyCache struct {
 }
 
 // buildIndex populates the per-code slices and the SBE offender ranking.
+// With a columnar store behind the study, each per-code slice is a
+// bitmap column scan — the store's popcounts size every allocation
+// exactly and only the matching rows are reconstructed; the resulting
+// slices are element-identical to the struct walk because the store
+// holds exactly Result.Events in order.
 func (s *Study) buildIndex() {
-	byCode := make(map[xid.Code][]console.Event)
-	for _, e := range s.Result.Events {
-		byCode[e.Code] = append(byCode[e.Code], e)
+	if s.store != nil {
+		codes := s.store.Codes()
+		byCode := make(map[xid.Code][]console.Event, len(codes))
+		for _, code := range codes {
+			byCode[code] = s.store.ScanCode(code)
+		}
+		s.cache.byCode = byCode
+	} else {
+		byCode := make(map[xid.Code][]console.Event)
+		for _, e := range s.Result.Events {
+			byCode[e.Code] = append(byCode[e.Code], e)
+		}
+		s.cache.byCode = byCode
 	}
-	s.cache.byCode = byCode
 	s.cache.sbe = analysis.NodeSBECounts(s.Result.Snapshot)
 	s.cache.top10 = analysis.TopSBEOffenders(s.cache.sbe, 10)
 }

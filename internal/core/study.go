@@ -18,6 +18,7 @@ import (
 	"titanre/internal/nvsmi"
 	"titanre/internal/scheduler"
 	"titanre/internal/sim"
+	"titanre/internal/store"
 	"titanre/internal/topology"
 	"titanre/internal/xid"
 )
@@ -31,6 +32,12 @@ type Study struct {
 	Result *sim.Result
 
 	cache studyCache
+
+	// store is the sealed columnar segment store behind Result.Events,
+	// when the dataset was loaded through dataset.LoadStore. With it the
+	// per-code index is built by bitmap column scans (exact-size
+	// allocations) instead of a pass over the event structs.
+	store *store.Store
 
 	// ingestHealth is the ledger of a resilient dataset load; nil when
 	// the data came from a fresh simulation or the strict loader.
@@ -48,6 +55,16 @@ func New(cfg sim.Config) *Study {
 // FromResult wraps an existing dataset (e.g. parsed from logs on disk).
 func FromResult(res *sim.Result) *Study {
 	return &Study{Config: res.Config, Result: res}
+}
+
+// FromStore wraps a dataset loaded through the columnar segment store
+// (dataset.LoadStore): res.Events must be exactly the store's events in
+// segment order. Figure accessors are unchanged; the per-code index is
+// served by column scans.
+func FromStore(res *sim.Result, st *store.Store) *Study {
+	s := FromResult(res)
+	s.store = st
+	return s
 }
 
 // FromIngest wraps a dataset that came through the resilient loader,

@@ -1,10 +1,13 @@
 package dataset
 
 import (
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"titanre/internal/sim"
+	"titanre/internal/store"
 )
 
 // benchDir writes a three-month dataset for the load benchmarks.
@@ -45,5 +48,91 @@ func BenchmarkLoadParallel(b *testing.B) {
 		if _, err := LoadWorkers(dir, cfg, workers); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLoadColumnar loads the same dataset through its sealed
+// columnar segments (dataset.LoadStore): events come from struct-of-
+// arrays columns instead of a console re-parse. This is the benchmark
+// the store allocation/heap budgets in scripts/bench.sh gate on,
+// against the BenchmarkLoadSerial flat baseline.
+func BenchmarkLoadColumnar(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 17
+	cfg.End = cfg.Start.AddDate(0, 3, 0)
+	res := sim.Run(cfg)
+	dir := b.TempDir()
+	if err := Write(dir, res); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteSegments(dir, res.Events, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LoadStoreWorkers(dir, cfg, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestStoreMemHarness reports the resident heap cost of the sealed
+// column store per retained event — the figure scripts/bench.sh records
+// in BENCH_store.json and gates on. Skipped unless BENCH_STORE_MEM is
+// set, so ordinary test runs don't pay an extra 3-month simulation.
+func TestStoreMemHarness(t *testing.T) {
+	if os.Getenv("BENCH_STORE_MEM") == "" {
+		t.Skip("set BENCH_STORE_MEM=1 to run the store memory harness")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 17
+	cfg.End = cfg.Start.AddDate(0, 3, 0)
+	res := sim.Run(cfg)
+	dir := t.TempDir()
+	if err := WriteSegments(dir, res.Events, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(filepath.Join(dir, SegmentsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventCount() == 0 {
+		t.Fatal("no events sealed")
+	}
+	perEvent := float64(st.MemBytes()) / float64(st.EventCount())
+	t.Logf("store-heap-bytes-per-event: %.1f ( MemBytes %d / EventCount %d )",
+		perEvent, st.MemBytes(), st.EventCount())
+}
+
+// BenchmarkScanCode measures the bitmap column scan: materializing one
+// code's events from sealed segments, popcount-sized.
+func BenchmarkScanCode(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 17
+	cfg.End = cfg.Start.AddDate(0, 3, 0)
+	res := sim.Run(cfg)
+	dir := b.TempDir()
+	if err := WriteSegments(dir, res.Events, 0); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(filepath.Join(dir, SegmentsDir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := st.Codes()
+	// One iteration scans every code once, touching all columns; MB/s is
+	// reported against the store's resident column bytes.
+	b.SetBytes(st.MemBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for _, code := range codes {
+			n += len(st.ScanCode(code))
+		}
+	}
+	if n == 0 {
+		b.Fatal("scan returned no events")
 	}
 }

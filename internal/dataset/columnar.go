@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"titanre/internal/console"
+	"titanre/internal/sim"
+	"titanre/internal/store"
+)
+
+// Columnar dataset path: alongside the four flat artifacts, a dataset
+// directory may carry a "segments" subdirectory of sealed columnar
+// segments (internal/store). Segments hold exactly the events the
+// console log parses to — sealing round-trips byte-identically through
+// console.AppendRaw — so loading them skips the console parse entirely
+// while producing the identical Result. titanreport -write-segments
+// creates them; Load auto-detects and prefers them.
+
+// SegmentsDir is the name of the columnar segment subdirectory inside a
+// dataset directory.
+const SegmentsDir = "segments"
+
+// DefaultSegmentEvents is the default seal chunk: events per segment
+// when writing a dataset's columnar form.
+const DefaultSegmentEvents = 1 << 16
+
+// HasSegments reports whether dir carries at least one sealed columnar
+// segment.
+func HasSegments(dir string) bool {
+	entries, err := os.ReadDir(filepath.Join(dir, SegmentsDir))
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".seg" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteSegments seals events into dir's columnar segment directory in
+// chunks of at most chunk events (DefaultSegmentEvents when chunk <= 0).
+// The directory must not already contain segments: segments mirror the
+// console log exactly, and appending a second copy would double-count.
+func WriteSegments(dir string, events []console.Event, chunk int) error {
+	if chunk <= 0 {
+		chunk = DefaultSegmentEvents
+	}
+	if HasSegments(dir) {
+		return fmt.Errorf("dataset: %s already has sealed segments", filepath.Join(dir, SegmentsDir))
+	}
+	st, err := store.Open(filepath.Join(dir, SegmentsDir))
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(events); lo += chunk {
+		hi := min(lo+chunk, len(events))
+		if _, err := st.Seal(events[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadStore is LoadStoreWorkers at the machine's width.
+func LoadStore(dir string, cfg sim.Config) (*sim.Result, *store.Store, error) {
+	return LoadStoreWorkers(dir, cfg, runtime.GOMAXPROCS(0))
+}
+
+// LoadStoreWorkers loads a dataset with its events coming from the
+// sealed columnar segments instead of the console log, returning the
+// open store alongside the Result so analyses can run column scans
+// (core.Study uses the per-code bitmaps for its index). The TSV
+// artifacts load exactly as in LoadWorkers; the assembled Result is
+// identical to a console-log load of the same dataset.
+func LoadStoreWorkers(dir string, cfg sim.Config, workers int) (*sim.Result, *store.Store, error) {
+	var st *store.Store
+	res, err := loadWorkers(dir, cfg, workers, func() ([]console.Event, error) {
+		var err error
+		st, err = store.Open(filepath.Join(dir, SegmentsDir))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w: %w", SegmentsDir, ErrUnparseableArtifact, err)
+		}
+		if st.SegmentCount() == 0 {
+			return nil, fmt.Errorf("dataset: %s: %w: no sealed segments", SegmentsDir, ErrMissingArtifact)
+		}
+		return st.Events(), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, st, nil
+}

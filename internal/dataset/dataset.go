@@ -87,6 +87,37 @@ func writeFile(dir, name string, fn func(*os.File) error) error {
 	return nil
 }
 
+// WriteStream stores a dataset whose console events are pulled from an
+// iterator instead of a materialized slice — titand's shutdown snapshot
+// uses it to flush sealed segments plus the retained tail without ever
+// holding the full event history as one []Event. The three TSV
+// artifacts are written as valid empty files (the stream never carries
+// job or nvidia-smi data), exactly as Write does for a result without
+// them, so the directory round-trips through Load.
+func WriteStream(dir string, next func() (console.Event, bool)) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := writeFile(dir, ConsoleFile, func(f *os.File) error {
+		return console.WriteLogStream(f, next)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(dir, JobsFile, func(f *os.File) error {
+		return scheduler.WriteJobLog(f, nil)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(dir, SamplesFile, func(f *os.File) error {
+		return nvsmi.WriteSamples(f, nil)
+	}); err != nil {
+		return err
+	}
+	return writeFile(dir, SnapshotFile, func(f *os.File) error {
+		return nvsmi.WriteSnapshot(f, nvsmi.Snapshot{})
+	})
+}
+
 // Load reads a dataset directory back into a Result. The passed config
 // supplies the operational context the flat files cannot carry (epoch
 // dates, the faulty node, the propagation window); its Start and End are
@@ -107,7 +138,23 @@ func Load(dir string, cfg sim.Config) (*sim.Result, error) {
 // workers <= 1 loads everything serially. The assembled Result is
 // byte-for-byte identical at every width (see TestLoadWorkersDigests);
 // only the wall clock changes.
+//
+// When the dataset carries a sealed columnar segment directory (see
+// WriteSegments), events come from the segment store instead of
+// re-parsing the console log — the columnar fast path; the result is
+// identical because segments round-trip the parsed log exactly.
 func LoadWorkers(dir string, cfg sim.Config, workers int) (*sim.Result, error) {
+	if HasSegments(dir) {
+		res, _, err := LoadStoreWorkers(dir, cfg, workers)
+		return res, err
+	}
+	return loadWorkers(dir, cfg, workers, nil)
+}
+
+// loadWorkers assembles a Result from the dataset's artifacts. A non-nil
+// eventsFn supplies the console events (the columnar path); nil parses
+// the console log.
+func loadWorkers(dir string, cfg sim.Config, workers int, eventsFn func() ([]console.Event, error)) (*sim.Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -141,6 +188,10 @@ func LoadWorkers(dir string, cfg sim.Config, workers int) (*sim.Result, error) {
 	}
 	run(
 		func() {
+			if eventsFn != nil {
+				events, errs[0] = eventsFn()
+				return
+			}
 			events, errs[0] = loadArtifact(dir, ConsoleFile, func(f *os.File) ([]console.Event, error) {
 				if workers <= 1 {
 					return console.NewCorrelator().ParseAll(f)

@@ -11,6 +11,7 @@ import (
 	"titanre/internal/console"
 	"titanre/internal/gpu"
 	"titanre/internal/topology"
+	"titanre/internal/tsv"
 	"titanre/internal/workload"
 )
 
@@ -62,11 +63,15 @@ func ParseSweepHeader(line string) (time.Time, error) {
 // ParseSnapshotLine decodes one device row of a snapshot. Comment and
 // blank lines are the caller's concern.
 func ParseSnapshotLine(line string) (Device, error) {
-	var d Device
-	fields := strings.Split(line, "\t")
-	if len(fields) != SnapshotFields {
-		return d, fmt.Errorf("%d fields, want %d", len(fields), SnapshotFields)
+	var fields [SnapshotFields]string
+	if n := tsv.SplitFields(line, fields[:]); n != SnapshotFields {
+		return Device{}, fmt.Errorf("%d fields, want %d", n, SnapshotFields)
 	}
+	return parseSnapshotFields(fields[:])
+}
+
+func parseSnapshotFields(fields []string) (Device, error) {
+	var d Device
 	node, err := topology.ParseNodeID(fields[0])
 	if err != nil {
 		return d, err
@@ -92,15 +97,23 @@ func ParseSnapshotLine(line string) (Device, error) {
 	return d, nil
 }
 
-// ReadSnapshot parses the output of WriteSnapshot.
+// ReadSnapshot parses the output of WriteSnapshot. The input is read
+// whole (pre-sized from Stat when r is a file) and parsed as substrings,
+// with the device slice pre-sized from the line count.
 func ReadSnapshot(r io.Reader) (Snapshot, error) {
 	var snap Snapshot
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	data, err := tsv.ReadAllString(r)
+	if err != nil {
+		return snap, fmt.Errorf("nvsmi: reading snapshot: %w", err)
+	}
+	snap.Devices = make([]Device, 0, strings.Count(data, "\n")+1)
+	var fields [SnapshotFields]string
+	lines := tsv.NewLines(data)
+	for {
+		line, lineNo, ok := lines.Next()
+		if !ok {
+			break
+		}
 		if line == "" {
 			continue
 		}
@@ -112,30 +125,37 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 			snap.Time = ts
 			continue
 		}
-		if strings.HasPrefix(line, "#") {
+		if line[0] == '#' {
 			continue
 		}
-		d, err := ParseSnapshotLine(line)
+		n := tsv.SplitFields(line, fields[:])
+		if n != SnapshotFields {
+			return snap, fmt.Errorf("nvsmi: line %d: %d fields, want %d", lineNo, n, SnapshotFields)
+		}
+		d, err := parseSnapshotFields(fields[:])
 		if err != nil {
 			return snap, fmt.Errorf("nvsmi: line %d: %w", lineNo, err)
 		}
 		snap.Devices = append(snap.Devices, d)
 	}
-	if err := sc.Err(); err != nil {
-		return snap, fmt.Errorf("nvsmi: reading snapshot: %w", err)
-	}
 	return snap, nil
 }
 
 func parseCountVector(s string, counts *gpu.ErrorCounts, double bool) error {
-	parts := strings.Split(s, ",")
-	if len(parts) != len(structCols) {
-		return fmt.Errorf("count vector %q has %d entries, want %d", s, len(parts), len(structCols))
+	if n := strings.Count(s, ",") + 1; n != len(structCols) {
+		return fmt.Errorf("count vector %q has %d entries, want %d", s, n, len(structCols))
 	}
-	for i, p := range parts {
-		v, err := strconv.ParseInt(p, 10, 64)
+	rest := s
+	for i := 0; i < len(structCols); i++ {
+		part := rest
+		if c := strings.IndexByte(rest, ','); c >= 0 {
+			part, rest = rest[:c], rest[c+1:]
+		} else {
+			rest = ""
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad count %q: %w", p, err)
+			return fmt.Errorf("bad count %q: %w", part, err)
 		}
 		if double {
 			counts.DoubleBit[structCols[i]] = v
@@ -171,11 +191,15 @@ const SampleFields = 8
 // ParseSampleLine decodes one data row of the samples file. Comment and
 // blank lines are the caller's concern.
 func ParseSampleLine(line string) (JobSample, error) {
-	var s JobSample
-	fields := strings.Split(line, "\t")
-	if len(fields) != SampleFields {
-		return s, fmt.Errorf("%d fields, want %d", len(fields), SampleFields)
+	var fields [SampleFields]string
+	if n := tsv.SplitFields(line, fields[:]); n != SampleFields {
+		return JobSample{}, fmt.Errorf("%d fields, want %d", n, SampleFields)
 	}
+	return parseSampleFields(fields[:])
+}
+
+func parseSampleFields(fields []string) (JobSample, error) {
+	var s JobSample
 	job, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
 		return s, fmt.Errorf("bad job: %w", err)
@@ -201,12 +225,18 @@ func ParseSampleLine(line string) (JobSample, error) {
 	if s.SBEDelta, err = strconv.ParseInt(fields[6], 10, 64); err != nil {
 		return s, fmt.Errorf("bad sbe: %w", err)
 	}
-	parts := strings.Split(fields[7], ",")
-	if len(parts) != len(structCols) {
-		return s, fmt.Errorf("structure vector has %d entries", len(parts))
+	if n := strings.Count(fields[7], ",") + 1; n != len(structCols) {
+		return s, fmt.Errorf("structure vector has %d entries", n)
 	}
-	for i, p := range parts {
-		v, err := strconv.ParseInt(p, 10, 64)
+	rest := fields[7]
+	for i := 0; i < len(structCols); i++ {
+		part := rest
+		if c := strings.IndexByte(rest, ','); c >= 0 {
+			part, rest = rest[:c], rest[c+1:]
+		} else {
+			rest = ""
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
 			return s, fmt.Errorf("bad structure count: %w", err)
 		}
@@ -217,25 +247,33 @@ func ParseSampleLine(line string) (JobSample, error) {
 
 // ReadSamples parses the output of WriteSamples. UsedNodes is not part of
 // the flat format (the job log carries allocations) and is left nil.
+// As with ReadSnapshot, the input is read whole and parsed as substrings
+// with the result pre-sized from the line count.
 func ReadSamples(r io.Reader) ([]JobSample, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	var out []JobSample
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	data, err := tsv.ReadAllString(r)
+	if err != nil {
+		return nil, fmt.Errorf("nvsmi: reading samples: %w", err)
+	}
+	out := make([]JobSample, 0, strings.Count(data, "\n")+1)
+	var fields [SampleFields]string
+	lines := tsv.NewLines(data)
+	for {
+		line, lineNo, ok := lines.Next()
+		if !ok {
+			break
+		}
+		if line == "" || line[0] == '#' {
 			continue
 		}
-		s, err := ParseSampleLine(line)
+		n := tsv.SplitFields(line, fields[:])
+		if n != SampleFields {
+			return nil, fmt.Errorf("nvsmi: samples line %d: %d fields, want %d", lineNo, n, SampleFields)
+		}
+		s, err := parseSampleFields(fields[:])
 		if err != nil {
 			return nil, fmt.Errorf("nvsmi: samples line %d: %w", lineNo, err)
 		}
 		out = append(out, s)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("nvsmi: reading samples: %w", err)
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"titanre/internal/console"
 	"titanre/internal/topology"
+	"titanre/internal/tsv"
 	"titanre/internal/workload"
 )
 
@@ -55,34 +56,78 @@ func ParseJobLine(line string) (Record, error) {
 	if len(fields) != JobLogFields {
 		return Record{}, fmt.Errorf("%d fields, want %d", len(fields), JobLogFields)
 	}
-	return parseJobLine(fields)
+	return parseJobLine(fields, nil)
 }
 
-// ReadJobLog parses a TSV job log produced by WriteJobLog.
+// jobParser carries the reusable state of a whole-file job-log parse:
+// a field array reused across lines, a scratch node list reused across
+// records, and a chunked arena the per-record node lists are carved
+// from — one slab allocation per arenaBlock node IDs instead of
+// append-doubling a fresh slice per job.
+type jobParser struct {
+	fields  [JobLogFields]string
+	scratch []topology.NodeID
+	arena   []topology.NodeID
+}
+
+// arenaBlock is the slab size (in node IDs) of the job parser's arena.
+const arenaBlock = 1 << 16
+
+// expand parses a compressed node list, returning an arena-backed slice.
+func (p *jobParser) expand(s string) ([]topology.NodeID, error) {
+	scratch, err := appendNodes(p.scratch[:0], s)
+	if err != nil {
+		return nil, err
+	}
+	p.scratch = scratch
+	n := len(scratch)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(p.arena) < n {
+		p.arena = make([]topology.NodeID, max(n, arenaBlock))
+	}
+	out := p.arena[:n:n]
+	p.arena = p.arena[n:]
+	copy(out, scratch)
+	return out, nil
+}
+
+// ReadJobLog parses a TSV job log produced by WriteJobLog. The whole
+// input is read up front (pre-sized from Stat when r is a file) and
+// parsed as substrings of one backing string: no per-line or per-field
+// string allocations, records pre-sized from the line count, node
+// lists carved from slab allocations.
 func ReadJobLog(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	var out []Record
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	data, err := tsv.ReadAllString(r)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: reading job log: %w", err)
+	}
+	out := make([]Record, 0, strings.Count(data, "\n")+1)
+	var p jobParser
+	lines := tsv.NewLines(data)
+	for {
+		line, lineNo, ok := lines.Next()
+		if !ok {
+			break
+		}
+		if line == "" || line[0] == '#' {
 			continue
 		}
-		rec, err := ParseJobLine(line)
+		n := tsv.SplitFields(line, p.fields[:])
+		if n != JobLogFields {
+			return nil, fmt.Errorf("scheduler: job log line %d: %d fields, want %d", lineNo, n, JobLogFields)
+		}
+		rec, err := parseJobLine(p.fields[:], &p)
 		if err != nil {
 			return nil, fmt.Errorf("scheduler: job log line %d: %w", lineNo, err)
 		}
 		out = append(out, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("scheduler: reading job log: %w", err)
-	}
 	return out, nil
 }
 
-func parseJobLine(fields []string) (Record, error) {
+func parseJobLine(fields []string, p *jobParser) (Record, error) {
 	var rec Record
 	id, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
@@ -116,7 +161,12 @@ func parseJobLine(fields []string) (Record, error) {
 	if rec.Spec.Buggy, err = strconv.ParseBool(fields[8]); err != nil {
 		return rec, fmt.Errorf("bad buggy flag: %w", err)
 	}
-	if rec.Nodes, err = ExpandNodes(fields[9]); err != nil {
+	if p != nil {
+		rec.Nodes, err = p.expand(fields[9])
+	} else {
+		rec.Nodes, err = ExpandNodes(fields[9])
+	}
+	if err != nil {
 		return rec, err
 	}
 	rec.Spec.Nodes = len(rec.Nodes)
@@ -164,11 +214,24 @@ func CompressNodes(nodes []topology.NodeID) string {
 
 // ExpandNodes parses the range format produced by CompressNodes.
 func ExpandNodes(s string) ([]topology.NodeID, error) {
+	return appendNodes(nil, s)
+}
+
+// appendNodes is ExpandNodes appending into a caller-supplied slice, so
+// whole-file parses reuse one scratch buffer. Node IDs are validated as
+// they are appended (first invalid ID wins), which also bounds the work
+// a corrupt range like "0-999999999" can cause.
+func appendNodes(dst []topology.NodeID, s string) ([]topology.NodeID, error) {
 	if s == "-" || s == "" {
-		return nil, nil
+		return dst, nil
 	}
-	var out []topology.NodeID
-	for _, part := range strings.Split(s, ",") {
+	for len(s) > 0 {
+		part := s
+		if c := strings.IndexByte(s, ','); c >= 0 {
+			part, s = s[:c], s[c+1:]
+		} else {
+			s = ""
+		}
 		if dash := strings.IndexByte(part, '-'); dash >= 0 {
 			lo, err := strconv.Atoi(part[:dash])
 			if err != nil {
@@ -182,20 +245,21 @@ func ExpandNodes(s string) ([]topology.NodeID, error) {
 				return nil, fmt.Errorf("inverted node range %q", part)
 			}
 			for id := lo; id <= hi; id++ {
-				out = append(out, topology.NodeID(id))
+				if !topology.NodeID(id).Valid() {
+					return nil, fmt.Errorf("node id %d out of range", id)
+				}
+				dst = append(dst, topology.NodeID(id))
 			}
 		} else {
 			id, err := strconv.Atoi(part)
 			if err != nil {
 				return nil, fmt.Errorf("bad node id %q: %w", part, err)
 			}
-			out = append(out, topology.NodeID(id))
+			if !topology.NodeID(id).Valid() {
+				return nil, fmt.Errorf("node id %d out of range", id)
+			}
+			dst = append(dst, topology.NodeID(id))
 		}
 	}
-	for _, n := range out {
-		if !n.Valid() {
-			return nil, fmt.Errorf("node id %d out of range", n)
-		}
-	}
-	return out, nil
+	return dst, nil
 }

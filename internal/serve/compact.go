@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/dataset"
+	"titanre/internal/store"
+)
+
+// Compaction.
+//
+// A retaining titand grows its in-memory event log linearly with
+// uptime. With Config.CompactDir set, a background compactor
+// periodically seals the aged prefix of that log into on-disk columnar
+// segments (internal/store) and drops it from memory, bounding the
+// retained tail to roughly CompactAge of stream time plus one
+// compaction interval of arrivals. The age cutoff is measured against
+// the newest applied event, not the wall clock, so replayed historical
+// logs compact exactly like live streams.
+//
+// Compaction preserves arrival order: it seals the longest prefix of
+// the retained log whose events all predate the cutoff, never
+// reordering anything. That keeps the sealed history byte-faithful to
+// the stream the detectors actually saw — a warm restart replays
+// segment events in the exact order the alert engine and precursor
+// warner originally consumed them, which is what makes its /alerts and
+// /warnings byte-identical to a daemon that never restarted. (For an
+// ordered stream the prefix is everything older than CompactAge; a
+// disordered stream compacts conservatively rather than wrongly.)
+//
+// Locking: the seal prefix is carved under stateMu, but the slow part
+// — column building and the disk write — runs without it. That is
+// safe because the applier only ever appends at the tail: the prefix
+// elements cannot move while the seal is in flight. Afterwards the
+// tail is copied into a fresh backing array so the sealed events'
+// memory is actually released. compactMu serializes compactions
+// against each other and against snapshots.
+
+// compactChunk caps the events per sealed segment, keeping individual
+// segments (and the min/max pruning they enable) reasonably granular.
+const compactChunk = dataset.DefaultSegmentEvents
+
+// sealedStore returns the segment store, opening CompactDir on first
+// use. Returns (nil, nil) when compaction is not configured and no
+// store was adopted by a warm start.
+func (s *Server) sealedStore() (*store.Store, error) {
+	s.sealedMu.Lock()
+	defer s.sealedMu.Unlock()
+	if s.sealed != nil {
+		return s.sealed, nil
+	}
+	if s.cfg.CompactDir == "" {
+		return nil, nil
+	}
+	st, err := store.Open(s.cfg.CompactDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compaction: %w", err)
+	}
+	s.sealed = st
+	return st, nil
+}
+
+// sealedPeek returns the store handle without opening one.
+func (s *Server) sealedPeek() *store.Store {
+	s.sealedMu.Lock()
+	defer s.sealedMu.Unlock()
+	return s.sealed
+}
+
+// SealedStore exposes the segment store behind the server (nil when
+// compaction never ran and no warm start adopted one).
+func (s *Server) SealedStore() *store.Store { return s.sealedPeek() }
+
+// CompactNow runs one compaction pass with the configured age and
+// minimum, returning how many events were sealed. A no-op (0, nil)
+// when compaction is not configured.
+func (s *Server) CompactNow() (int, error) {
+	if s.cfg.CompactDir == "" {
+		return 0, nil
+	}
+	return s.compact(s.cfg.CompactAge, s.cfg.CompactMin)
+}
+
+// compact seals the longest retained prefix whose events are all older
+// than age (relative to the newest applied event) into segments,
+// provided at least minEvents qualify, and drops it from the retained
+// log.
+func (s *Server) compact(age time.Duration, minEvents int) (int, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	st, err := s.sealedStore()
+	if err != nil || st == nil {
+		return 0, err
+	}
+
+	s.stateMu.Lock()
+	cutoff := s.maxApplied.Add(-age)
+	n := 0
+	for n < len(s.events) && !s.events[n].Time.After(cutoff) {
+		n++
+	}
+	if n == 0 || n < minEvents {
+		s.stateMu.Unlock()
+		return 0, nil
+	}
+	prefix := s.events[:n:n]
+	s.stateMu.Unlock()
+
+	sealed := 0
+	var sealErr error
+	for lo := 0; lo < n; lo += compactChunk {
+		hi := min(lo+compactChunk, n)
+		if _, err := st.Seal(prefix[lo:hi]); err != nil {
+			sealErr = err
+			break
+		}
+		sealed = hi
+	}
+	if sealed > 0 {
+		// Only what actually reached disk leaves memory; the tail gets a
+		// fresh backing array so the sealed prefix becomes collectable.
+		s.stateMu.Lock()
+		rest := make([]console.Event, len(s.events)-sealed)
+		copy(rest, s.events[sealed:])
+		s.events = rest
+		s.stateMu.Unlock()
+		s.metrics.eventsSealed.Add(uint64(sealed))
+		s.metrics.compactions.Add(1)
+		s.lastCompact.Store(time.Now().Unix())
+	}
+	if sealErr != nil {
+		s.metrics.compactFailures.Add(1)
+		return sealed, fmt.Errorf("serve: compaction: %w", sealErr)
+	}
+	return sealed, nil
+}
+
+// compactLoop is the background compactor started when CompactDir is
+// configured; Shutdown stops it before the final seal.
+func (s *Server) compactLoop() {
+	defer s.compactWG.Done()
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-t.C:
+			if _, err := s.CompactNow(); err != nil {
+				// The failure counter is already bumped; the events stay
+				// retained and the next tick retries.
+				continue
+			}
+		}
+	}
+}

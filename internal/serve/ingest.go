@@ -203,6 +203,9 @@ func (s *Server) applier() {
 				}
 			}
 			s.codeTotals[ev.Code]++
+			if ev.Time.After(s.maxApplied) {
+				s.maxApplied = ev.Time
+			}
 			if s.cfg.RetainEvents {
 				s.events = append(s.events, ev)
 			}

@@ -40,9 +40,14 @@ type metrics struct {
 	fastFallbacks atomic.Uint64 // lines that fell back to the regex path
 
 	// State application.
-	eventsApplied atomic.Uint64
-	alertsRaised  atomic.Uint64
+	eventsApplied  atomic.Uint64
+	alertsRaised   atomic.Uint64
 	warningsIssued atomic.Uint64
+
+	// Compaction (see compact.go).
+	compactions     atomic.Uint64 // successful compaction passes
+	compactFailures atomic.Uint64 // passes that failed to seal
+	eventsSealed    atomic.Uint64 // events moved from memory into segments
 
 	// Ingest latency histogram (request admission to 202, seconds).
 	latCount atomic.Uint64
@@ -75,6 +80,14 @@ type snapshotGauges struct {
 	cardsTracked int
 	shards       int
 	draining     bool
+
+	// Compaction and memory.
+	retainedEvents int
+	sealedSegments int
+	sealedEvents   int
+	sealedBytes    int64
+	lastCompact    int64 // unix seconds, 0 = never
+	heapInuse      uint64
 }
 
 // write renders the Prometheus text exposition. Counter names follow the
@@ -102,6 +115,9 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 	counter("titand_events_applied_total", "Events applied to the online state (global detectors + node shards).", m.eventsApplied.Load())
 	counter("titand_alerts_raised_total", "Operator alerts raised by the streaming detectors.", m.alertsRaised.Load())
 	counter("titand_warnings_issued_total", "Precursor warnings issued by the armed prediction rules.", m.warningsIssued.Load())
+	counter("titand_compactions_total", "Compaction passes that sealed retained events into segments.", m.compactions.Load())
+	counter("titand_compaction_failures_total", "Compaction passes that failed to seal (events stay retained).", m.compactFailures.Load())
+	counter("titand_events_sealed_total", "Events moved from the retained log into on-disk columnar segments.", m.eventsSealed.Load())
 
 	// Ingest latency histogram.
 	fmt.Fprintf(bw, "# HELP titand_ingest_latency_seconds Ingest request latency (admission to response).\n")
@@ -121,6 +137,12 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 	gauge("titand_nodes_tracked", "Nodes with online reliability state.", float64(g.nodesTracked))
 	gauge("titand_cards_tracked", "GPU cards with online reliability state.", float64(g.cardsTracked))
 	gauge("titand_state_shards", "Per-node state shards.", float64(g.shards))
+	gauge("titand_retained_events", "Applied events still held in memory (the unsealed tail).", float64(g.retainedEvents))
+	gauge("titand_sealed_segments", "On-disk columnar segments sealed by compaction.", float64(g.sealedSegments))
+	gauge("titand_sealed_events", "Events stored in sealed columnar segments.", float64(g.sealedEvents))
+	gauge("titand_sealed_segment_bytes", "Total on-disk bytes of sealed segment files.", float64(g.sealedBytes))
+	gauge("titand_last_compaction_timestamp_seconds", "Unix time of the last successful compaction (0 = never).", float64(g.lastCompact))
+	gauge("titand_heap_inuse_bytes", "Go runtime heap bytes in use (runtime.MemStats.HeapInuse).", float64(g.heapInuse))
 	drain := 0.0
 	if g.draining {
 		drain = 1

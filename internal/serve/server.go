@@ -30,6 +30,7 @@ import (
 	"titanre/internal/alert"
 	"titanre/internal/console"
 	"titanre/internal/predict"
+	"titanre/internal/store"
 	"titanre/internal/topology"
 	"titanre/internal/xid"
 )
@@ -66,6 +67,22 @@ type Config struct {
 	// SnapshotDir, when non-empty, receives a dataset-compatible
 	// snapshot of the retained events on Shutdown.
 	SnapshotDir string
+	// CompactDir, when non-empty, enables compaction: retained events
+	// older than CompactAge (measured against the newest applied event,
+	// so historical replays compact too) are sealed into columnar
+	// segments under this directory and dropped from memory, bounding
+	// the retained log. Shutdown seals the remaining tail, so the
+	// segments always hold the complete history afterwards.
+	CompactDir string
+	// CompactInterval is the background compaction cadence
+	// (default 1 min when CompactDir is set).
+	CompactInterval time.Duration
+	// CompactAge is the minimum event age before sealing (default 10 min
+	// of stream time); younger events stay hot in memory.
+	CompactAge time.Duration
+	// CompactMin is the minimum number of sealable events worth a
+	// segment (default 1024); smaller backlogs wait for the next tick.
+	CompactMin int
 }
 
 // DefaultConfig returns the production defaults.
@@ -97,6 +114,20 @@ type Server struct {
 	warner      *predict.Warner
 	codeTotals  map[xid.Code]int
 	events      []console.Event
+	// maxApplied is the newest event time applied so far; compaction
+	// measures CompactAge against it so historical replays age out the
+	// same way live streams do.
+	maxApplied time.Time
+
+	// sealedMu guards the sealed segment store handle; the store itself
+	// is internally synchronized. lastCompact is the unix time of the
+	// last successful compaction (0 = never).
+	sealedMu    sync.Mutex
+	sealed      *store.Store
+	compactMu   sync.Mutex
+	lastCompact atomic.Int64
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
 
 	parseWG sync.WaitGroup
 	applyWG sync.WaitGroup
@@ -143,6 +174,17 @@ func NewServer(cfg Config) *Server {
 	if cfg.RateWindow <= 0 {
 		cfg.RateWindow = 24 * time.Hour
 	}
+	if cfg.CompactDir != "" {
+		if cfg.CompactInterval <= 0 {
+			cfg.CompactInterval = time.Minute
+		}
+		if cfg.CompactAge <= 0 {
+			cfg.CompactAge = 10 * time.Minute
+		}
+		if cfg.CompactMin <= 0 {
+			cfg.CompactMin = 1024
+		}
+	}
 	s := &Server{
 		cfg:         cfg,
 		metrics:     newMetrics(time.Now()),
@@ -161,10 +203,16 @@ func NewServer(cfg Config) *Server {
 	}
 	s.applyWG.Add(1)
 	go s.applier()
+	if cfg.CompactDir != "" {
+		s.compactStop = make(chan struct{})
+		s.compactWG.Add(1)
+		go s.compactLoop()
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /nodes/{cname}", s.handleNode)
+	s.mux.HandleFunc("GET /nodes/{cname}/history", s.handleNodeHistory)
 	s.mux.HandleFunc("GET /alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /warnings", s.handleWarnings)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -252,6 +300,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drained = true
 	s.lifecycleMu.Unlock()
 
+	// Stop the background compactor, then seal what it left: after the
+	// final flush the segments hold the complete applied history, making
+	// the compact directory alone sufficient for a warm restart.
+	if s.compactStop != nil {
+		close(s.compactStop)
+		s.compactWG.Wait()
+	}
+	if s.cfg.CompactDir != "" && s.cfg.RetainEvents {
+		if _, err := s.compact(0, 1); err != nil {
+			return err
+		}
+	}
 	if s.cfg.SnapshotDir != "" {
 		if err := s.WriteSnapshot(s.cfg.SnapshotDir); err != nil {
 			return err
@@ -315,6 +375,83 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, view)
+}
+
+// HistoryEvent is the JSON shape of one event in a node's history.
+type HistoryEvent struct {
+	Time   time.Time `json:"time"`
+	Code   string    `json:"code"`
+	Serial string    `json:"serial,omitempty"`
+	// Page is the framebuffer page for ECC events; negative when not
+	// applicable (mirrors console.Event.Page).
+	Page int32 `json:"page"`
+	Job  int64 `json:"job,omitempty"`
+}
+
+// NodeHistory is the GET /nodes/{cname}/history document.
+type NodeHistory struct {
+	Node     string         `json:"node"`
+	Sealed   int            `json:"sealed_events"`
+	Retained int            `json:"retained_events"`
+	Events   []HistoryEvent `json:"events"`
+}
+
+// handleNodeHistory serves a node's full event history: sealed segments
+// are scanned through their per-segment min/max time bounds (segments
+// outside [since, until] are pruned without touching their columns),
+// then merged with whatever the retained tail still holds for the node.
+// Optional ?since= / ?until= take RFC 3339 timestamps.
+func (s *Server) handleNodeHistory(w http.ResponseWriter, r *http.Request) {
+	cname := r.PathValue("cname")
+	node, err := topology.ParseNodeID(cname)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad cname %q: %v", cname, err), http.StatusBadRequest)
+		return
+	}
+	since := time.Time{}
+	until := time.Unix(1<<62, 0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		if since, err = time.Parse(time.RFC3339, v); err != nil {
+			http.Error(w, fmt.Sprintf("bad since %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("until"); v != "" {
+		if until, err = time.Parse(time.RFC3339, v); err != nil {
+			http.Error(w, fmt.Sprintf("bad until %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+	}
+
+	var events []console.Event
+	sealedCount := 0
+	if sealed := s.sealedPeek(); sealed != nil {
+		events = sealed.ScanNode(node, since, until)
+		sealedCount = len(events)
+	}
+	s.stateMu.Lock()
+	for _, ev := range s.events {
+		if ev.Node == node && !ev.Time.Before(since) && !ev.Time.After(until) {
+			events = append(events, ev)
+		}
+	}
+	s.stateMu.Unlock()
+	console.SortEvents(events)
+
+	hist := NodeHistory{
+		Node:     topology.CNameOf(node),
+		Sealed:   sealedCount,
+		Retained: len(events) - sealedCount,
+		Events:   make([]HistoryEvent, 0, len(events)),
+	}
+	for _, ev := range events {
+		he := HistoryEvent{Time: ev.Time, Code: ev.Code.String(), Page: ev.Page, Job: int64(ev.Job)}
+		if ev.Serial != 0 {
+			he.Serial = ev.Serial.String()
+		}
+		hist.Events = append(hist.Events, he)
+	}
+	writeJSON(w, hist)
 }
 
 // AlertView is the JSON shape of one raised alert.
@@ -412,6 +549,18 @@ type Stats struct {
 	CardsTracked    int            `json:"cards_tracked"`
 	Shards          int            `json:"shards"`
 	EventsByCode    map[string]int `json:"events_by_code"`
+
+	// Compaction and memory (see internal/store): the retained tail is
+	// what is still hot in memory; sealed figures cover the on-disk
+	// columnar segments.
+	RetainedEvents     int    `json:"retained_events"`
+	SealedSegments     int    `json:"sealed_segments"`
+	SealedEvents       int    `json:"sealed_events"`
+	SealedSegmentBytes int64  `json:"sealed_segment_bytes"`
+	Compactions        uint64 `json:"compactions"`
+	EventsSealed       uint64 `json:"events_sealed"`
+	LastCompactionUnix int64  `json:"last_compaction_unix"`
+	HeapInuseBytes     uint64 `json:"heap_inuse_bytes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -447,7 +596,19 @@ func (s *Server) StatsNow() Stats {
 	for code, n := range s.codeTotals {
 		st.EventsByCode[code.String()] = n
 	}
+	st.RetainedEvents = len(s.events)
 	s.stateMu.Unlock()
+	if sealed := s.sealedPeek(); sealed != nil {
+		st.SealedSegments = sealed.SegmentCount()
+		st.SealedEvents = sealed.EventCount()
+		st.SealedSegmentBytes = sealed.DiskBytes()
+	}
+	st.Compactions = m.compactions.Load()
+	st.EventsSealed = m.eventsSealed.Load()
+	st.LastCompactionUnix = s.lastCompact.Load()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st.HeapInuseBytes = ms.HeapInuse
 	return st
 }
 
@@ -475,15 +636,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.lifecycleMu.Lock()
 	draining := s.draining
 	s.lifecycleMu.Unlock()
+	s.stateMu.Lock()
+	retained := len(s.events)
+	s.stateMu.Unlock()
+	g := snapshotGauges{
+		queueDepth:     s.queue.depth(),
+		queueCap:       s.cfg.QueueDepth,
+		nodesTracked:   nodes,
+		cardsTracked:   cards,
+		shards:         s.cfg.Shards,
+		draining:       draining,
+		retainedEvents: retained,
+		lastCompact:    s.lastCompact.Load(),
+	}
+	if sealed := s.sealedPeek(); sealed != nil {
+		g.sealedSegments = sealed.SegmentCount()
+		g.sealedEvents = sealed.EventCount()
+		g.sealedBytes = sealed.DiskBytes()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.heapInuse = ms.HeapInuse
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, snapshotGauges{
-		queueDepth:   s.queue.depth(),
-		queueCap:     s.cfg.QueueDepth,
-		nodesTracked: nodes,
-		cardsTracked: cards,
-		shards:       s.cfg.Shards,
-		draining:     draining,
-	}, time.Now())
+	s.metrics.write(w, g, time.Now())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

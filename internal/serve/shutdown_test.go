@@ -116,12 +116,13 @@ func TestShutdownSnapshotRoundTrips(t *testing.T) {
 	}
 	// The console line format carries second-resolution timestamps, so
 	// the reference is the batch parse of the same log bytes, not the raw
-	// sim events (whose sub-second fractions never hit the wire).
+	// sim events (whose sub-second fractions never hit the wire). The
+	// snapshot preserves stream order — what the detectors actually
+	// consumed — so the comparison is in parse order too.
 	want, err := console.NewCorrelator().ParseAll(bytes.NewReader(log))
 	if err != nil {
 		t.Fatal(err)
 	}
-	console.SortEvents(want)
 	if len(res.Events) != len(want) {
 		t.Fatalf("snapshot has %d events, want %d", len(res.Events), len(want))
 	}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"titanre/internal/console"
+	"titanre/internal/dataset"
+	"titanre/internal/store"
+)
+
+// Warm restart — the inverse of the SIGTERM flush.
+//
+// A shutdown with compaction configured leaves a state directory whose
+// segments subdirectory holds the complete applied history in sealed
+// columnar form (plus, with SnapshotDir, the flat dataset artifacts).
+// WarmStart replays that history through the exact apply sequence the
+// live pipeline uses, so the daemon resumes with its sliding windows,
+// per-card counters, retirement machines, alert engine and armed
+// precursor rules in the same state streaming the history would have
+// produced — /alerts and /warnings are byte-identical to a daemon that
+// saw the whole stream (TestWarmRestartMatchesFullStream).
+
+// WarmStats reports what a warm start replayed.
+type WarmStats struct {
+	// Replayed is the number of events fed back through the pipeline.
+	Replayed int
+	// FromSegments is true when the history came from sealed columnar
+	// segments (the flat console.log was used otherwise).
+	FromSegments bool
+}
+
+// WarmStart rebuilds the online state from a state directory: sealed
+// segments under dir/segments are preferred (a compacting titand's
+// complete history); the dataset console.log is parsed when there are
+// no segments. Events replayed from segments are not re-retained —
+// they are already sealed — while console.log events enter the
+// retained log as if streamed, so a later compaction or snapshot sees
+// them. A missing or empty directory is a cold start: (zero, nil).
+//
+// WarmStart must be called before any ingest is admitted (cmd/titand
+// calls it before Serve). When compaction is configured, CompactDir
+// must be dir/segments so new seals extend the same history.
+func (s *Server) WarmStart(dir string) (WarmStats, error) {
+	var ws WarmStats
+	segDir := filepath.Join(dir, dataset.SegmentsDir)
+	if s.cfg.CompactDir != "" && filepath.Clean(s.cfg.CompactDir) != filepath.Clean(segDir) {
+		return ws, fmt.Errorf("serve: warm start: CompactDir %s is not %s", s.cfg.CompactDir, segDir)
+	}
+	st, err := store.Open(segDir)
+	if err != nil {
+		return ws, fmt.Errorf("serve: warm start: %w", err)
+	}
+
+	// Replay order is storage order — the arrival order the original
+	// daemon applied (compaction and the snapshot both preserve it) —
+	// so the rebuilt detector state is exactly what streaming the
+	// history would have produced.
+	var events []console.Event
+	if st.SegmentCount() > 0 {
+		ws.FromSegments = true
+		events = st.Events()
+	} else {
+		f, err := os.Open(filepath.Join(dir, dataset.ConsoleFile))
+		if os.IsNotExist(err) {
+			return ws, nil // cold start
+		}
+		if err != nil {
+			return ws, fmt.Errorf("serve: warm start: %w", err)
+		}
+		events, err = console.NewCorrelator().ParseAll(f)
+		f.Close()
+		if err != nil {
+			return ws, fmt.Errorf("serve: warm start: %w", err)
+		}
+	}
+	ws.Replayed = len(events)
+	if len(events) == 0 && !ws.FromSegments {
+		return ws, nil
+	}
+
+	// Replay through the applier's exact sequence: cross-node detectors
+	// and totals under stateMu, then the per-node shard dispatches.
+	s.stateMu.Lock()
+	for _, ev := range events {
+		before := s.alertEngine.Count()
+		s.alertEngine.Feed(ev)
+		if d := s.alertEngine.Count() - before; d > 0 {
+			s.metrics.alertsRaised.Add(uint64(d))
+		}
+		if s.warner != nil {
+			if _, warned := s.warner.Feed(ev); warned {
+				s.metrics.warningsIssued.Add(1)
+			}
+		}
+		s.codeTotals[ev.Code]++
+		if ev.Time.After(s.maxApplied) {
+			s.maxApplied = ev.Time
+		}
+		if !ws.FromSegments && s.cfg.RetainEvents {
+			s.events = append(s.events, ev)
+		}
+	}
+	s.stateMu.Unlock()
+	for _, ev := range events {
+		s.shards.dispatch(ev)
+	}
+	s.metrics.eventsApplied.Add(uint64(len(events)))
+
+	if ws.FromSegments {
+		// Adopt the loaded store: new compactions seal into the same
+		// history, /history scans it, and the shutdown snapshot streams
+		// from it.
+		s.sealedMu.Lock()
+		s.sealed = st
+		s.sealedMu.Unlock()
+	}
+	return ws, nil
+}

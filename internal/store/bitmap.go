@@ -1,0 +1,41 @@
+package store
+
+import "math/bits"
+
+// bitmap is a fixed-width bitset over event positions within one segment.
+// Per-code bitmaps let a column scan touch only the rows of one XID
+// without re-reading the code column, and their popcount gives exact
+// result sizes so scans allocate once.
+type bitmap struct {
+	words []uint64
+}
+
+func newBitmap(n int) bitmap {
+	return bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+func (b bitmap) set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitmap) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// count returns the number of set bits.
+func (b bitmap) count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach visits set bits in ascending order until fn returns false.
+func (b bitmap) forEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"titanre/internal/topology"
+)
+
+// On-disk segment layout, all little-endian:
+//
+//	magic    [8]byte  "TITANSEG"
+//	version  uint32   1
+//	count    uint32   number of events n
+//	minT     int64    epoch seconds
+//	maxT     int64
+//	arenaLen uint32
+//	times    [n]int64
+//	codes    [n]uint16
+//	nodes    [n]uint32
+//	cards    [n]uint8
+//	offs     [n+1]uint32
+//	arena    [arenaLen]byte
+//	dict     uvarint nnodes, then per node (ascending node id):
+//	           uvarint node, uvarint count, count x uvarint serial
+//	bitmaps  uvarint ncodes, then per code (ascending code):
+//	           varint code, uvarint nwords, nwords x uint64 words
+//	digest   [32]byte SHA-256 over everything above
+//
+// The trailing digest makes corruption detection exact: a read that
+// does not end on a matching digest fails with ErrCorrupt rather than
+// yielding silently wrong columns.
+
+var segMagic = [8]byte{'T', 'I', 'T', 'A', 'N', 'S', 'E', 'G'}
+
+const segVersion = 1
+
+// ErrCorrupt reports a segment file whose digest or structure does not
+// validate.
+var ErrCorrupt = errors.New("store: corrupt segment file")
+
+// Marshal renders the segment in the on-disk format, digest included.
+func (s *Segment) Marshal() []byte {
+	n := len(s.times)
+	buf := make([]byte, 0, 32+n*19+len(s.arena)+len(s.serials)*8+len(s.byCode)*(3+len(s.times)/8))
+	buf = append(buf, segMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.minT))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.maxT))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.arena)))
+	for _, v := range s.times {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	for _, v := range s.codes {
+		buf = binary.LittleEndian.AppendUint16(buf, v)
+	}
+	for _, v := range s.nodes {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	buf = append(buf, s.cards...)
+	for _, v := range s.offs {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	buf = append(buf, s.arena...)
+
+	nodes := make([]uint32, 0, len(s.serials))
+	for node := range s.serials {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, node := range nodes {
+		dict := s.serials[node]
+		buf = binary.AppendUvarint(buf, uint64(node))
+		buf = binary.AppendUvarint(buf, uint64(len(dict)))
+		for _, serial := range dict {
+			buf = binary.AppendUvarint(buf, uint64(serial))
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(s.byCode)))
+	for _, cb := range s.byCode {
+		buf = binary.AppendVarint(buf, int64(cb.code))
+		buf = binary.AppendUvarint(buf, uint64(len(cb.bits.words)))
+		for _, w := range cb.bits.words {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+
+	digest := sha256.Sum256(buf)
+	return append(buf, digest[:]...)
+}
+
+// Unmarshal parses and validates an on-disk segment. Every structural
+// invariant is checked before the data is trusted: digest, magic,
+// version, monotonic arena offsets, node and card bounds.
+func Unmarshal(data []byte) (*Segment, error) {
+	if len(data) < 8+4+4+8+8+4+sha256.Size {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	digest := sha256.Sum256(body)
+	if [sha256.Size]byte(tail) != digest {
+		return nil, fmt.Errorf("%w: digest mismatch", ErrCorrupt)
+	}
+	if [8]byte(body[:8]) != segMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	p := 8
+	version := binary.LittleEndian.Uint32(body[p:])
+	p += 4
+	if version != segVersion {
+		return nil, fmt.Errorf("store: unsupported segment version %d", version)
+	}
+	n := int(binary.LittleEndian.Uint32(body[p:]))
+	p += 4
+	minT := int64(binary.LittleEndian.Uint64(body[p:]))
+	p += 8
+	maxT := int64(binary.LittleEndian.Uint64(body[p:]))
+	p += 8
+	arenaLen := int(binary.LittleEndian.Uint32(body[p:]))
+	p += 4
+	need := n*8 + n*2 + n*4 + n + (n+1)*4 + arenaLen
+	if n == 0 || len(body)-p < need {
+		return nil, fmt.Errorf("%w: column area truncated", ErrCorrupt)
+	}
+	s := &Segment{
+		times: make([]int64, n),
+		codes: make([]uint16, n),
+		nodes: make([]uint32, n),
+		cards: make([]uint8, n),
+		offs:  make([]uint32, n+1),
+		arena: make([]byte, arenaLen),
+		minT:  minT,
+		maxT:  maxT,
+	}
+	for i := range s.times {
+		s.times[i] = int64(binary.LittleEndian.Uint64(body[p:]))
+		p += 8
+	}
+	for i := range s.codes {
+		s.codes[i] = binary.LittleEndian.Uint16(body[p:])
+		p += 2
+	}
+	for i := range s.nodes {
+		s.nodes[i] = binary.LittleEndian.Uint32(body[p:])
+		if int(s.nodes[i]) >= topology.TotalNodes {
+			return nil, fmt.Errorf("%w: node id %d out of range", ErrCorrupt, s.nodes[i])
+		}
+		p += 4
+	}
+	copy(s.cards, body[p:p+n])
+	p += n
+	for i := range s.offs {
+		s.offs[i] = binary.LittleEndian.Uint32(body[p:])
+		p += 4
+	}
+	if s.offs[0] != 0 || int(s.offs[n]) != arenaLen {
+		return nil, fmt.Errorf("%w: arena offsets do not span the arena", ErrCorrupt)
+	}
+	for i := 0; i < n; i++ {
+		if s.offs[i] > s.offs[i+1] {
+			return nil, fmt.Errorf("%w: arena offsets not monotonic", ErrCorrupt)
+		}
+	}
+	copy(s.arena, body[p:p+arenaLen])
+	p += arenaLen
+
+	nnodes, m := binary.Uvarint(body[p:])
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: dictionary truncated", ErrCorrupt)
+	}
+	p += m
+	s.serials = make(map[uint32][]uint32, nnodes)
+	for i := uint64(0); i < nnodes; i++ {
+		node, m := binary.Uvarint(body[p:])
+		if m <= 0 || node >= uint64(topology.TotalNodes) {
+			return nil, fmt.Errorf("%w: dictionary node invalid", ErrCorrupt)
+		}
+		p += m
+		cnt, m := binary.Uvarint(body[p:])
+		if m <= 0 || cnt > maxCardsPerNode {
+			return nil, fmt.Errorf("%w: dictionary count invalid", ErrCorrupt)
+		}
+		p += m
+		dict := make([]uint32, cnt)
+		for j := range dict {
+			serial, m := binary.Uvarint(body[p:])
+			if m <= 0 || serial > math.MaxUint32 {
+				return nil, fmt.Errorf("%w: dictionary serial invalid", ErrCorrupt)
+			}
+			p += m
+			dict[j] = uint32(serial)
+		}
+		s.serials[uint32(node)] = dict
+	}
+	for i, card := range s.cards {
+		if int(card) >= len(s.serials[s.nodes[i]]) {
+			return nil, fmt.Errorf("%w: card index %d out of dictionary range", ErrCorrupt, card)
+		}
+	}
+
+	// The bitmap section is validated but rebuilt from the code column —
+	// cheaper than trusting serialized words, and len(body) consistency
+	// is already digest-checked. We still walk it to confirm structure.
+	ncodes, m := binary.Uvarint(body[p:])
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: bitmap section truncated", ErrCorrupt)
+	}
+	p += m
+	for i := uint64(0); i < ncodes; i++ {
+		_, m := binary.Varint(body[p:])
+		if m <= 0 {
+			return nil, fmt.Errorf("%w: bitmap code invalid", ErrCorrupt)
+		}
+		p += m
+		nwords, m := binary.Uvarint(body[p:])
+		if m <= 0 || int(nwords) != (n+63)/64 {
+			return nil, fmt.Errorf("%w: bitmap width invalid", ErrCorrupt)
+		}
+		p += m + int(nwords)*8
+		if p > len(body) {
+			return nil, fmt.Errorf("%w: bitmap words truncated", ErrCorrupt)
+		}
+	}
+	if p != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-p)
+	}
+	s.buildBitmaps()
+	return s, nil
+}
+
+// WriteFile writes the segment atomically (temp file + rename).
+func (s *Segment) WriteFile(path string) error {
+	data := s.Marshal()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".seg-*")
+	if err != nil {
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
+	return nil
+}
+
+// ReadSegmentFile reads and validates one segment file.
+func ReadSegmentFile(path string) (*Segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading segment: %w", err)
+	}
+	s, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,237 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// Store manages an ordered sequence of sealed segments in one
+// directory (seg-000000.seg, seg-000001.seg, ...). Sealing appends;
+// segments are never rewritten, so readers and the sealing writer only
+// contend on the short in-memory registration.
+type Store struct {
+	mu        sync.RWMutex
+	dir       string
+	segs      []*Segment
+	next      int // next segment file number
+	diskBytes int64
+	count     int
+}
+
+// Open opens (or initializes) a segment store in dir. A missing
+// directory is an empty store; it is created on first seal. Existing
+// segment files are read, digest-validated, and registered in
+// file-name order — the order they were sealed.
+func Open(dir string) (*Store, error) {
+	st := &Store{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && filepath.Ext(name) == ".seg" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		seg, err := ReadSegmentFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+		}
+		st.segs = append(st.segs, seg)
+		st.diskBytes += info.Size()
+		st.count += seg.Len()
+		var num int
+		if _, err := fmt.Sscanf(name, "seg-%d.seg", &num); err == nil && num >= st.next {
+			st.next = num + 1
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Seal builds a segment from events (in the order given), writes it to
+// disk, and registers it. Returns the sealed segment.
+func (st *Store) Seal(events []console.Event) (*Segment, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("store: sealing empty segment")
+	}
+	b := NewBuilder(len(events))
+	for _, e := range events {
+		if err := b.Append(e); err != nil {
+			return nil, err
+		}
+	}
+	seg, err := b.Seal()
+	if err != nil {
+		return nil, err
+	}
+	return seg, st.register(seg)
+}
+
+// SealSegment writes an already-built segment to disk and registers it.
+func (st *Store) SealSegment(seg *Segment) error { return st.register(seg) }
+
+func (st *Store) register(seg *Segment) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", st.dir, err)
+	}
+	path := filepath.Join(st.dir, fmt.Sprintf("seg-%06d.seg", st.next))
+	if err := seg.WriteFile(path); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("store: sealing: %w", err)
+	}
+	st.next++
+	st.segs = append(st.segs, seg)
+	st.diskBytes += info.Size()
+	st.count += seg.Len()
+	return nil
+}
+
+// Segments returns a snapshot of the registered segments in seal order.
+func (st *Store) Segments() []*Segment {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*Segment, len(st.segs))
+	copy(out, st.segs)
+	return out
+}
+
+// EventCount reports the total events across all segments.
+func (st *Store) EventCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.count
+}
+
+// SegmentCount reports the number of sealed segments.
+func (st *Store) SegmentCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.segs)
+}
+
+// DiskBytes reports the total on-disk size of sealed segment files.
+func (st *Store) DiskBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.diskBytes
+}
+
+// MemBytes estimates the resident footprint of all loaded segments.
+func (st *Store) MemBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var n int64
+	for _, seg := range st.segs {
+		n += seg.MemBytes()
+	}
+	return n
+}
+
+// Events materializes every stored event in segment order, allocating
+// the result exactly once.
+func (st *Store) Events() []console.Event {
+	segs := st.Segments()
+	total := 0
+	for _, seg := range segs {
+		total += seg.Len()
+	}
+	out := make([]console.Event, 0, total)
+	for _, seg := range segs {
+		out = seg.AppendEvents(out)
+	}
+	return out
+}
+
+// ScanCode returns every event carrying code, in segment order,
+// allocating the result exactly once via bitmap popcounts.
+func (st *Store) ScanCode(code xid.Code) []console.Event {
+	segs := st.Segments()
+	total := 0
+	for _, seg := range segs {
+		total += seg.CountCode(code)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]console.Event, 0, total)
+	for _, seg := range segs {
+		out = seg.ScanCode(code, out)
+	}
+	return out
+}
+
+// ScanNode returns events on node within [since, until], pruning
+// segments by their min/max time.
+func (st *Store) ScanNode(node topology.NodeID, since, until time.Time) []console.Event {
+	var out []console.Event
+	for _, seg := range st.Segments() {
+		if !seg.Overlaps(since, until) {
+			continue
+		}
+		out = seg.ScanNode(node, since, until, out)
+	}
+	return out
+}
+
+// Codes returns the sorted union of event codes across all segments.
+func (st *Store) Codes() []xid.Code {
+	seen := make(map[xid.Code]bool)
+	for _, seg := range st.Segments() {
+		for _, c := range seg.Codes() {
+			seen[c] = true
+		}
+	}
+	out := make([]xid.Code, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Digest hashes the console rendering (AppendRaw + newline) of every
+// stored event in segment order — the round-trip identity check: a
+// store sealed from a parsed log digests to the same value as the log
+// bytes themselves.
+func (st *Store) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	var buf []byte
+	for _, seg := range st.Segments() {
+		for i := 0; i < seg.Len(); i++ {
+			buf = seg.EventAt(i).AppendRaw(buf[:0])
+			buf = append(buf, '\n')
+			h.Write(buf)
+		}
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

@@ -1,0 +1,109 @@
+// Package tsv holds the shared low-allocation plumbing of the flat-file
+// readers (job log, nvidia-smi snapshot and samples, console log):
+// whole-file reads pre-sized from the file's Stat size, and line/field
+// iteration that yields substrings of one backing string instead of
+// allocating per line and per field.
+package tsv
+
+import (
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadAll reads r to EOF. When r is an *os.File the buffer is pre-sized
+// from Stat, so a regular file is read with a single allocation instead
+// of io.ReadAll's doubling growth.
+func ReadAll(r io.Reader) ([]byte, error) {
+	size := 0
+	if f, ok := r.(*os.File); ok {
+		if info, err := f.Stat(); err == nil && info.Size() > 0 {
+			size = int(info.Size())
+		}
+	}
+	buf := make([]byte, 0, size+512)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ReadAllString reads r to EOF as a string, going through a pre-grown
+// strings.Builder so the file bytes are allocated once (ReadAll followed
+// by a string conversion would hold two copies). The parsed records of
+// the flat-file readers hold no references into the data, so the backing
+// array is collectable as soon as parsing ends.
+func ReadAllString(r io.Reader) (string, error) {
+	size := 0
+	if f, ok := r.(*os.File); ok {
+		if info, err := f.Stat(); err == nil && info.Size() > 0 {
+			size = int(info.Size())
+		}
+	}
+	var sb strings.Builder
+	sb.Grow(size + 512)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err == io.EOF {
+			return sb.String(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+// Lines iterates the lines of data as substrings: no per-line
+// allocation, surrounding whitespace trimmed, 1-based numbering.
+type Lines struct {
+	rest   string
+	lineNo int
+}
+
+// NewLines returns a line iterator over data.
+func NewLines(data string) Lines { return Lines{rest: data} }
+
+// Next returns the next (trimmed) line and its 1-based number;
+// ok=false means end of input.
+func (l *Lines) Next() (line string, lineNo int, ok bool) {
+	if l.rest == "" {
+		return "", 0, false
+	}
+	l.lineNo++
+	line = l.rest
+	if nl := strings.IndexByte(l.rest, '\n'); nl >= 0 {
+		line, l.rest = l.rest[:nl], l.rest[nl+1:]
+	} else {
+		l.rest = ""
+	}
+	return strings.TrimSpace(line), l.lineNo, true
+}
+
+// SplitFields splits line at tabs into dst, returning the exact field
+// count (which may exceed len(dst); the extra fields are counted but
+// not stored, enough for the caller's field-count error).
+func SplitFields(line string, dst []string) int {
+	n := 0
+	for n < len(dst) {
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			dst[n] = line
+			return n + 1
+		}
+		dst[n] = line[:tab]
+		line = line[tab+1:]
+		n++
+	}
+	return n + strings.Count(line, "\t") + 1
+}

@@ -14,10 +14,20 @@
 # latency, shed fraction under overload); the harness itself enforces
 # the 100k lines/s capacity floor.
 #
+# Finally runs the columnar store benchmarks (BenchmarkLoadColumnar,
+# BenchmarkScanCode) plus the store memory harness, records them in
+# BENCH_store.json (load ns/op, bytes/op, allocs/op; scan MB/s;
+# heap-bytes-per-retained-event), and enforces the columnar budgets
+# against the frozen BenchmarkLoadSerial flat baseline
+# (309,617,456 B/op, 650,176 allocs/op): the columnar load must stay
+# at or under 1/3 the bytes and 1/5 the allocs, and the sealed store
+# must hold a retained event in at most 64 resident bytes.
+#
 #   BENCHTIME=1s ./scripts/bench.sh    # default 1s per benchmark
 #   BENCHTIME=5x ./scripts/bench.sh    # iteration-count mode, e.g. in CI
 #   BENCH_OUT=/tmp/b.json ...          # write elsewhere (check.sh smoke)
 #   BENCH_SERVE_OUT=/tmp/s.json ...    # ditto for the ingest benchmark
+#   BENCH_STORE_OUT=/tmp/c.json ...    # ditto for the store benchmarks
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -91,4 +101,77 @@ fi
 grep -E 'capacity:|overload' "$SERVE_RAW" || true
 rm -f "$SERVE_RAW"
 echo "== wrote $SERVE_OUT"
+
+STORE_OUT="${BENCH_STORE_OUT:-BENCH_store.json}"
+echo "== columnar store benchmarks (benchtime $BENCHTIME)"
+STORE_RAW="$(mktemp)"
+go test ./internal/dataset -run '^$' \
+    -bench '^(BenchmarkLoadColumnar|BenchmarkScanCode)$' \
+    -benchmem -benchtime "$BENCHTIME" | tee "$STORE_RAW"
+
+echo "== store memory harness (heap bytes per retained event)"
+HEAP_RAW="$(mktemp)"
+BENCH_STORE_MEM=1 go test ./internal/dataset \
+    -run '^TestStoreMemHarness$' -count=1 -v | tee "$HEAP_RAW"
+HEAP=$(awk '{ for (i = 1; i < NF; i++) if ($i == "store-heap-bytes-per-event:") print $(i + 1) }' "$HEAP_RAW")
+rm -f "$HEAP_RAW"
+if [ -z "$HEAP" ]; then
+    echo "bench.sh: store memory harness produced no figure" >&2
+    rm -f "$STORE_RAW"
+    exit 1
+fi
+
+awk -v heap="$HEAP" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = mbs = bytes = allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "MB/s")      mbs = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (name == "BenchmarkLoadColumnar") { lns = ns; lb = bytes; la = allocs }
+    if (name == "BenchmarkScanCode")     { smbs = mbs }
+}
+END {
+    printf "{\n"
+    printf "  \"load_ns_per_op\": %s,\n",     (lns  == "" ? "null" : lns)
+    printf "  \"load_bytes_per_op\": %s,\n",  (lb   == "" ? "null" : lb)
+    printf "  \"load_allocs_per_op\": %s,\n", (la   == "" ? "null" : la)
+    printf "  \"scan_mb_per_s\": %s,\n",      (smbs == "" ? "null" : smbs)
+    printf "  \"heap_bytes_per_retained_event\": %s\n", heap
+    printf "}\n"
+}
+' "$STORE_RAW" > "$STORE_OUT"
+rm -f "$STORE_RAW"
+echo "== wrote $STORE_OUT"
+
+# Columnar budgets against the frozen flat baseline (BenchmarkLoadSerial
+# at the same three-month dataset: 309,617,456 B/op, 650,176 allocs/op).
+ALLOC_BUDGET=130035      # baseline / 5
+BYTE_BUDGET=103205818    # baseline / 3
+HEAP_BUDGET=64           # resident bytes per sealed event
+LA=$(awk -F'"load_allocs_per_op": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+LB=$(awk -F'"load_bytes_per_op": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+if [ -z "$LA" ] || [ "$LA" = "null" ] || [ -z "$LB" ] || [ "$LB" = "null" ]; then
+    echo "bench.sh: BenchmarkLoadColumnar missing from $STORE_OUT" >&2
+    exit 1
+fi
+if [ "${LA%%.*}" -gt "$ALLOC_BUDGET" ]; then
+    echo "bench.sh: columnar load allocates $LA/op, budget is $ALLOC_BUDGET (baseline/5)" >&2
+    exit 1
+fi
+if [ "${LB%%.*}" -gt "$BYTE_BUDGET" ]; then
+    echo "bench.sh: columnar load moves $LB B/op, budget is $BYTE_BUDGET (baseline/3)" >&2
+    exit 1
+fi
+if [ "${HEAP%%.*}" -gt "$HEAP_BUDGET" ]; then
+    echo "bench.sh: store holds $HEAP heap bytes/event, budget is $HEAP_BUDGET" >&2
+    exit 1
+fi
+echo "== columnar load allocs/op: $LA (budget $ALLOC_BUDGET), B/op: $LB (budget $BYTE_BUDGET)"
+echo "== store heap bytes/event: $HEAP (budget $HEAP_BUDGET)"
 echo "ok"

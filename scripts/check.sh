@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the full local verification gate:
-#   build, vet, race-enabled tests, and a short fuzz smoke of the
-#   console parser (the recovering ingest path is built on it).
+#   build, vet, race-enabled tests, the columnar segment round-trip
+#   digests, a short fuzz smoke of the console parser (the recovering
+#   ingest path is built on it), and the benchmark budgets (fast-path
+#   decode allocs, columnar load bytes/allocs, store heap per event).
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -25,6 +27,11 @@ go test -race ./internal/serve -run 'TestStreamMatchesBatchHTTP|TestShutdown' -c
 go test -race ./internal/alert -run TestStreamMatchesBatch -count=2
 go test -race ./internal/predict -run TestWarnerMatchesBatch -count=2
 
+echo "== columnar segment round-trip digests (seal -> scan, race mode)"
+go test -race ./internal/store -run 'TestRoundTripDigest|TestEventsExact' -count=2
+go test -race ./internal/dataset -run 'TestColumnarLoadIdentical|TestColumnarReportIdentical' -count=1
+go test -race ./internal/serve -run 'TestCompactionBoundsRetained|TestWarmRestart' -count=1
+
 echo "== benchmark smoke (full-period simulation, one iteration)"
 go test . -run '^$' -bench 'BenchmarkSimulationFullPeriod$' -benchtime 1x
 
@@ -34,7 +41,7 @@ go test ./internal/console -run '^$' -fuzz FuzzParseRawLine -fuzztime 5s
 echo "== differential fuzz smoke (FuzzDecodeEquivalence, 5s)"
 go test ./internal/console -run '^$' -fuzz FuzzDecodeEquivalence -fuzztime 5s
 
-echo "== fast-path I/O benchmarks + allocation budget (bench.sh, 1 iteration)"
-BENCHTIME=1x BENCH_OUT="$(mktemp)" BENCH_SERVE_OUT="$(mktemp)" ./scripts/bench.sh
+echo "== fast-path I/O + columnar store benchmarks and budgets (bench.sh, 1 iteration)"
+BENCHTIME=1x BENCH_OUT="$(mktemp)" BENCH_SERVE_OUT="$(mktemp)" BENCH_STORE_OUT="$(mktemp)" ./scripts/bench.sh
 
 echo "ok"
