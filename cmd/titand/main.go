@@ -10,7 +10,9 @@
 //	       [-train console.log] [-min-support N] [-min-confidence F]
 //	       [-snapshot DIR] [-no-retain] [-warm-dir DIR]
 //	       [-compact-dir DIR] [-compact-interval D] [-compact-age D]
-//	       [-compact-min N]
+//	       [-compact-min N] [-journal] [-journal-fsync POLICY]
+//	       [-journal-sync-interval D] [-journal-rotate-bytes N]
+//	       [-failpoints SPEC] [-list-failpoints]
 //
 // Endpoints:
 //
@@ -32,6 +34,21 @@
 // everything admitted is applied, and with -snapshot the retained event
 // log is flushed as a dataset-compatible directory that titanreport and
 // xidtool can load.
+//
+// With -journal (requires -warm-dir) the daemon is crash-safe, not just
+// drain-safe: every applied event is written ahead to an arrival-order
+// journal under <warm-dir>/journal, so a kill -9 restart replays
+// segments then journal and resumes byte-identical to a daemon that
+// never died. -journal-fsync picks the durability policy (always,
+// interval, off), -journal-sync-interval the interval cadence and
+// -journal-rotate-bytes the per-file cap. Corrupt segments found at
+// boot are quarantined with exact accounting instead of blocking the
+// restart; /stats and /healthz carry the degraded flag.
+//
+// -failpoints (or TITAND_FAILPOINTS) arms named fault-injection sites
+// — see -list-failpoints for the catalog — used by the crash harness
+// (scripts/crash.sh) to kill the daemon at every storage boundary and
+// assert recovery.
 //
 // With -compact-dir the daemon runs with bounded memory: a background
 // loop periodically seals retained events older than -compact-age into
@@ -58,6 +75,7 @@ import (
 
 	"titanre/internal/console"
 	"titanre/internal/dataset"
+	"titanre/internal/failpoint"
 	"titanre/internal/predict"
 	"titanre/internal/serve"
 )
@@ -79,7 +97,29 @@ func main() {
 	compactInterval := flag.Duration("compact-interval", 0, "background compaction period (0 = default 1m)")
 	compactAge := flag.Duration("compact-age", 0, "events older than this, by stream time, are sealed (0 = default 10m)")
 	compactMin := flag.Int("compact-min", 0, "minimum sealable events before a compaction runs (0 = default 1024)")
+	journal := flag.Bool("journal", false, "write-ahead journal applied events under <warm-dir>/journal (crash safety; requires -warm-dir)")
+	journalDir := flag.String("journal-dir", "", "journal directory (default <warm-dir>/journal; implies -journal)")
+	journalFsync := flag.String("journal-fsync", "", "journal fsync policy: always, interval, off (default interval)")
+	journalSyncInterval := flag.Duration("journal-sync-interval", 0, "interval-policy fsync cadence (0 = default 100ms)")
+	journalRotateBytes := flag.Int64("journal-rotate-bytes", 0, "rotate journal files past this size (0 = default 4MiB)")
+	failpoints := flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store.segment.sync=kill:2' (also TITAND_FAILPOINTS)")
+	listFailpoints := flag.Bool("list-failpoints", false, "print the failpoint catalog and exit")
 	flag.Parse()
+
+	if *listFailpoints {
+		for _, name := range failpoint.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if err := failpoint.ArmFromEnv("TITAND_FAILPOINTS"); err != nil {
+		fatal(err)
+	}
+	if *failpoints != "" {
+		if err := failpoint.Arm(*failpoints); err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg := serve.DefaultConfig()
 	cfg.Shards = *shards
@@ -102,6 +142,18 @@ func main() {
 		if cfg.CompactDir == "" {
 			cfg.CompactDir = filepath.Join(*warmDir, dataset.SegmentsDir)
 		}
+	}
+	if *journal || *journalDir != "" {
+		if *warmDir == "" {
+			fatal(fmt.Errorf("-journal needs -warm-dir (the journal lives in the state directory and replays at boot)"))
+		}
+		cfg.JournalDir = *journalDir
+		if cfg.JournalDir == "" {
+			cfg.JournalDir = filepath.Join(*warmDir, "journal")
+		}
+		cfg.JournalFsync = *journalFsync
+		cfg.JournalSyncInterval = *journalSyncInterval
+		cfg.JournalRotateBytes = *journalRotateBytes
 	}
 	if cfg.SnapshotDir != "" && !cfg.RetainEvents {
 		fatal(fmt.Errorf("-snapshot needs retained events; drop -no-retain"))
@@ -135,6 +187,17 @@ func main() {
 				src = "sealed segments"
 			}
 			fmt.Fprintf(os.Stderr, "titand: warm start: replayed %d events from %s in %s\n", ws.Replayed, src, *warmDir)
+		}
+		if ws.JournalReplayed > 0 || ws.JournalTorn {
+			torn := ""
+			if ws.JournalTorn {
+				torn = " (stopped at a torn record)"
+			}
+			fmt.Fprintf(os.Stderr, "titand: warm start: recovered %d events from the journal%s\n", ws.JournalReplayed, torn)
+		}
+		if ws.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "titand: warm start: DEGRADED — quarantined %d corrupt segment(s), %d events lost; see %s\n",
+				ws.Quarantined, ws.EventsLost, filepath.Join(cfg.CompactDir, "quarantine"))
 		}
 	}
 

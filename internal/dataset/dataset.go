@@ -72,17 +72,39 @@ func Write(dir string, res *sim.Result) error {
 	})
 }
 
+// writeFile writes one artifact atomically and durably: content goes
+// to a temp file, is fsynced, renamed over the final name, and the
+// directory entry is fsynced. A crash mid-write (titand's shutdown
+// snapshot races a second SIGKILL) leaves the previous artifact
+// intact, never a torn one.
 func writeFile(dir, name string, fn func(*os.File) error) error {
-	f, err := os.Create(filepath.Join(dir, name))
+	f, err := os.CreateTemp(dir, "."+name+"-*")
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
 	if err := fn(f); err != nil {
 		f.Close()
 		return fmt.Errorf("dataset: writing %s: %w", name, err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: syncing %s: %w", name, err)
+	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("dataset: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("dataset: committing %s: %w", name, err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("dataset: syncing %s: %w", dir, err)
 	}
 	return nil
 }

@@ -1,0 +1,17 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// jitterDur spreads a backoff uniformly over [d/2, 3d/2) so retriers
+// that failed together — compaction chunks against a briefly-sick
+// disk, titanload senders shed by the same full queue — do not retry
+// together and collide again.
+func jitterDur(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -106,6 +107,42 @@ func TestIngestBenchHarness(t *testing.T) {
 	shutdownBench(t, overSrv)
 	t.Logf("overload at 2x drain (%.0f lines/s offered): %v", 2*drainRate, overStats)
 
+	// Phase 3: journal overhead. The same lossless replay with the
+	// write-ahead journal active, once per fsync policy. always pays an
+	// fsync per applied batch (the durability ceiling), interval is the
+	// production default (bounded loss window, near-zero cost), off
+	// leaves durability to the page cache. bench.sh gates the interval
+	// policy against the same 100k lines/s capacity floor.
+	journalRate := make(map[string]float64, 3)
+	for _, fsync := range []string{FsyncAlways, FsyncInterval, FsyncOff} {
+		dir := t.TempDir()
+		jcfg := benchServerConfig()
+		jcfg.CompactDir = filepath.Join(dir, "segments")
+		jcfg.CompactInterval = time.Hour // idle; the journal is the subject
+		jcfg.JournalDir = filepath.Join(dir, "journal")
+		jcfg.JournalFsync = fsync
+		jSrv := NewServer(jcfg)
+		if _, err := jSrv.WarmStart(dir); err != nil {
+			t.Fatalf("journal bench (%s): %v", fsync, err)
+		}
+		jURL := newLocalServer(t, jSrv)
+		jStats, err := StreamLog(context.Background(), jURL, bytes.NewReader(corpus), StreamOptions{
+			BatchLines:  1024,
+			Concurrency: 4,
+			Retry429:    true,
+		})
+		if err != nil {
+			t.Fatalf("journal run (%s): %v (%v)", fsync, err, jStats)
+		}
+		js := jSrv.StatsNow().Journal
+		shutdownBench(t, jSrv)
+		if js == nil || js.Appends != jStats.LinesAccepted {
+			t.Errorf("journal (%s) recorded %+v appends, want %d", fsync, js, jStats.LinesAccepted)
+		}
+		journalRate[fsync] = jStats.LinesPerSecond()
+		t.Logf("journal fsync=%s: %v", fsync, jStats)
+	}
+
 	if capacity < 100_000 {
 		t.Errorf("ingest capacity %.0f lines/s below the 100k floor", capacity)
 	}
@@ -129,6 +166,9 @@ func TestIngestBenchHarness(t *testing.T) {
 		"overload_shed_fraction":          overStats.ShedFraction(),
 		"overload_p99_ms":                 float64(overStats.Percentile(99).Microseconds()) / 1000,
 		"batches_429":                     overStats.Batches429,
+		"journal_lines_per_sec_always":    journalRate[FsyncAlways],
+		"journal_lines_per_sec_interval":  journalRate[FsyncInterval],
+		"journal_lines_per_sec_off":       journalRate[FsyncOff],
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

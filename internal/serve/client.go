@@ -271,8 +271,10 @@ func sendBatch(ctx context.Context, client *http.Client, url string, body []byte
 					backoff = time.Duration(secs) * time.Second / 10
 				}
 			}
+			// Jitter the wait so concurrent senders shed by the same full
+			// queue don't all come back in the same instant.
 			select {
-			case <-time.After(backoff):
+			case <-time.After(jitterDur(backoff)):
 			case <-ctx.Done():
 				atomic.AddUint64(&stats.LinesFailed, lines)
 				return ctx.Err()

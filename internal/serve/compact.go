@@ -6,6 +6,7 @@ import (
 
 	"titanre/internal/console"
 	"titanre/internal/dataset"
+	"titanre/internal/failpoint"
 	"titanre/internal/store"
 )
 
@@ -41,6 +42,35 @@ import (
 // compactChunk caps the events per sealed segment, keeping individual
 // segments (and the min/max pruning they enable) reasonably granular.
 const compactChunk = dataset.DefaultSegmentEvents
+
+// sealAttempts bounds the per-chunk retries for transient seal I/O
+// failures (ENOSPC that clears, an injected fault); the backoff
+// between attempts is exponential with jitter, ~25/50 ms.
+const sealAttempts = 3
+
+var fpCompactChunk = failpoint.Register("serve.compact.chunk")
+
+// sealChunk seals one chunk with jittered-exponential-backoff retries.
+// A fault that clears within sealAttempts costs only the backoff; a
+// persistent one surfaces after the last attempt and the events stay
+// retained for the next compaction tick.
+func (s *Server) sealChunk(st *store.Store, chunk []console.Event) error {
+	backoff := 25 * time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fpCompactChunk.Eval(); err == nil {
+			if _, err = st.Seal(chunk); err == nil {
+				return nil
+			}
+		}
+		if attempt+1 >= sealAttempts {
+			return err
+		}
+		s.metrics.compactRetries.Add(1)
+		time.Sleep(jitterDur(backoff))
+		backoff *= 2
+	}
+}
 
 // sealedStore returns the segment store, opening CompactDir on first
 // use. Returns (nil, nil) when compaction is not configured and no
@@ -112,7 +142,7 @@ func (s *Server) compact(age time.Duration, minEvents int) (int, error) {
 	var sealErr error
 	for lo := 0; lo < n; lo += compactChunk {
 		hi := min(lo+compactChunk, n)
-		if _, err := st.Seal(prefix[lo:hi]); err != nil {
+		if err := s.sealChunk(st, prefix[lo:hi]); err != nil {
 			sealErr = err
 			break
 		}
@@ -129,6 +159,20 @@ func (s *Server) compact(age time.Duration, minEvents int) (int, error) {
 		s.metrics.eventsSealed.Add(uint64(sealed))
 		s.metrics.compactions.Add(1)
 		s.lastCompact.Store(time.Now().Unix())
+
+		// Advance the durable floor, then let the journal drop files the
+		// floor now covers. A floor-write failure leaves the old floor:
+		// the next restart replays those journal records on top of the
+		// extra segments via the floor's delta arithmetic, and the write
+		// is retried on the next pass.
+		seq := s.sealedSeq.Add(uint64(sealed))
+		if err := store.WriteSealedFloor(st.Dir(), seq, uint64(st.EventCount())); err != nil {
+			s.metrics.compactFailures.Add(1)
+			return sealed, fmt.Errorf("serve: compaction: %w", err)
+		}
+		if j := s.journal.Load(); j != nil {
+			j.Truncate(seq)
+		}
 	}
 	if sealErr != nil {
 		s.metrics.compactFailures.Add(1)

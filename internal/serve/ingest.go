@@ -179,8 +179,15 @@ func countLines(data []byte) int {
 // streaming alert engine, the armed precursor warner, per-code totals
 // and the retained event log for the shutdown snapshot. Everything it
 // owns is guarded by stateMu so the query handlers can read it.
+//
+// With a journal open, every event is appended (write-ahead) before it
+// is applied: the journal sees the exact arrival-order stream the
+// detectors consume, so replaying it after a crash reconstructs the
+// same state. One Commit per batch bounds the fsync rate under the
+// "always" policy to the batch rate.
 func (s *Server) applier() {
 	defer s.applyWG.Done()
+	var raw []byte
 	for {
 		events, ok := s.reorder.take()
 		if !ok {
@@ -190,22 +197,16 @@ func (s *Server) applier() {
 			s.appliedBatches.Add(1)
 			continue
 		}
+		if j := s.journal.Load(); j != nil {
+			for _, ev := range events {
+				raw = ev.AppendRaw(raw[:0])
+				j.Append(raw)
+			}
+			j.Commit()
+		}
 		s.stateMu.Lock()
 		for _, ev := range events {
-			before := s.alertEngine.Count()
-			s.alertEngine.Feed(ev)
-			if d := s.alertEngine.Count() - before; d > 0 {
-				s.metrics.alertsRaised.Add(uint64(d))
-			}
-			if s.warner != nil {
-				if _, warned := s.warner.Feed(ev); warned {
-					s.metrics.warningsIssued.Add(1)
-				}
-			}
-			s.codeTotals[ev.Code]++
-			if ev.Time.After(s.maxApplied) {
-				s.maxApplied = ev.Time
-			}
+			s.applyEventLocked(ev)
 			if s.cfg.RetainEvents {
 				s.events = append(s.events, ev)
 			}

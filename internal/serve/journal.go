@@ -1,0 +1,573 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"titanre/internal/failpoint"
+)
+
+// The arrival-order write-ahead journal.
+//
+// Compaction makes the applied history durable only every
+// CompactInterval; everything younger lives in the retained tail and
+// dies with the process. The journal closes that window: the applier
+// appends every event's canonical console rendering (AppendRaw — the
+// same bytes a segment re-renders to) to an on-disk log BEFORE folding
+// the event into the online state, so a kill -9 daemon restarts by
+// replaying segments and then the journal and lands in exactly the
+// state an uninterrupted daemon would hold.
+//
+// Format. Files named wal-<firstSeq>.wal (zero-padded, so name order
+// is sequence order) under the journal directory. Each starts with a
+// 20-byte header — magic "TITANWAL", u32 version, u64 firstSeq — and
+// carries framed records: u32 payload length, u32 CRC-32C, payload
+// (one rendered console line, no newline). Sequence numbers are
+// implicit: header firstSeq plus record index. The global sequence is
+// the event's index in the daemon lineage's applied arrival stream,
+// the same numbering the SEALED floor file uses.
+//
+// The prefix property. Replay stops at the first torn frame, CRC
+// mismatch or sequence gap — everything before it is applied,
+// everything after discarded — so a restarted daemon's state is always
+// a prefix of the admitted stream, never a subsequence with holes.
+// Append failures preserve the property by wedging the journal: once a
+// write fails nothing more is appended until a rotation to a fresh
+// file (whose header carries the true next sequence) succeeds, so a
+// gap shows up as a firstSeq jump that replay detects and stops at,
+// rather than silently missing records mid-file.
+//
+// Rotation is by size; truncation is driven by compaction: once the
+// sealed floor covers a whole file, the file is deleted. Fsync policy
+// trades ingest overhead against the crash-loss window: "always"
+// syncs at every batch commit, "interval" syncs on a timer (default
+// 100 ms), "off" leaves it to the page cache.
+
+// Fsync policy names for Config.JournalFsync.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncOff      = "off"
+)
+
+const (
+	walMagic      = "TITANWAL"
+	walVersion    = 1
+	walHeaderSize = 8 + 4 + 8
+	walFrameSize  = 4 + 4
+	// walMaxRecord bounds one record; longer length fields mean a torn
+	// or corrupt frame (console lines are capped at 1 MiB upstream).
+	walMaxRecord = 1 << 20
+)
+
+var (
+	walByteOrder = binary.LittleEndian
+	castagnoli   = crc32.MakeTable(crc32.Castagnoli)
+
+	fpJournalAppend = failpoint.Register("serve.journal.append")
+	fpJournalSync   = failpoint.Register("serve.journal.sync")
+)
+
+// JournalConfig tunes one journal (derived from serve.Config).
+type JournalConfig struct {
+	Dir          string
+	Fsync        string        // always | interval | off
+	SyncInterval time.Duration // interval policy cadence
+	RotateBytes  int64         // rotate the current file past this size
+}
+
+// JournalReplay reports what opening a journal recovered.
+type JournalReplay struct {
+	// Records is the number of records handed to the apply callback.
+	Records int
+	// Skipped counts records below the caller's skip floor (already
+	// sealed into segments).
+	Skipped int
+	// Torn is true when replay stopped at a torn or corrupt frame (the
+	// expected shape of a crash mid-append; the tail was discarded).
+	Torn bool
+	// FilesRemoved counts journal files deleted because they sat past a
+	// torn frame or a sequence gap and could never replay contiguously.
+	FilesRemoved int
+}
+
+// JournalStats is a point-in-time counter snapshot for /stats and
+// /metrics.
+type JournalStats struct {
+	NextSeq        uint64
+	Appends        uint64
+	AppendFailures uint64
+	Syncs          uint64
+	Rotations      uint64
+	FilesRemoved   uint64
+	Wedged         bool
+}
+
+type walFile struct {
+	name  string
+	first uint64
+}
+
+// Journal is the open write-ahead journal. One goroutine (the applier)
+// appends; the interval syncer and truncation share the mutex.
+type Journal struct {
+	cfg JournalConfig
+
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	size   int64
+	files  []walFile // surviving files in sequence order; last is open
+	next   uint64    // global seq of the next record appended
+	wedged bool
+	dirty  bool // bytes written since the last fsync
+
+	stop     chan struct{}
+	syncerWG sync.WaitGroup
+
+	appends        atomic.Uint64
+	appendFailures atomic.Uint64
+	syncs          atomic.Uint64
+	rotations      atomic.Uint64
+	filesRemoved   atomic.Uint64
+}
+
+// OpenJournal opens (or initializes) the journal in cfg.Dir, replaying
+// every surviving record with sequence >= skip through apply in
+// order. Replay stops at the first torn frame or sequence gap; files
+// past the stop are deleted (their records can never be applied
+// contiguously) and appending resumes in a fresh file whose header
+// records the true next sequence. The caller applies the replayed
+// lines before admitting new ingest.
+func OpenJournal(cfg JournalConfig, skip uint64, apply func(line []byte) error) (*Journal, JournalReplay, error) {
+	var rep JournalReplay
+	switch cfg.Fsync {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+	case "":
+		cfg.Fsync = FsyncInterval
+	default:
+		return nil, rep, fmt.Errorf("serve: journal: unknown fsync policy %q (always, interval, off)", cfg.Fsync)
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 100 * time.Millisecond
+	}
+	if cfg.RotateBytes <= 0 {
+		cfg.RotateBytes = 4 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, rep, fmt.Errorf("serve: journal: %w", err)
+	}
+
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, rep, fmt.Errorf("serve: journal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".wal") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	j := &Journal{cfg: cfg, next: skip}
+	expected := skip
+	stopped := false // torn frame or gap seen; remove everything after
+	for _, name := range names {
+		path := filepath.Join(cfg.Dir, name)
+		if stopped {
+			if os.Remove(path) == nil {
+				rep.FilesRemoved++
+			}
+			continue
+		}
+		first, recs, tornAt, err := readWALFile(path, expected, skip, apply, &rep)
+		if err != nil {
+			return nil, rep, err
+		}
+		switch {
+		case tornAt == tornHeader || first > expected:
+			// Unreadable header, or a sequence gap: this file and
+			// everything after it can never replay contiguously.
+			rep.Torn = rep.Torn || tornAt == tornHeader
+			stopped = true
+			if os.Remove(path) == nil {
+				rep.FilesRemoved++
+			}
+		case tornAt > 0:
+			// Torn mid-file: the valid prefix replayed; drop the tail
+			// and everything after.
+			rep.Torn = true
+			stopped = true
+			if err := os.Truncate(path, tornAt); err != nil {
+				return nil, rep, fmt.Errorf("serve: journal: truncating torn tail of %s: %w", name, err)
+			}
+			expected = first + uint64(recs)
+			j.files = append(j.files, walFile{name: name, first: first})
+		default:
+			if end := first + uint64(recs); end > expected {
+				expected = end
+			}
+			j.files = append(j.files, walFile{name: name, first: first})
+		}
+	}
+	j.next = expected
+
+	// Always resume in a fresh file: its header pins the true next
+	// sequence, so even a journal wedged by the previous incarnation
+	// restarts contiguous.
+	if err := j.rotateLocked(); err != nil {
+		return nil, rep, err
+	}
+	if cfg.Fsync == FsyncInterval {
+		j.stop = make(chan struct{})
+		j.syncerWG.Add(1)
+		go j.syncLoop()
+	}
+	return j, rep, nil
+}
+
+// tornHeader marks a file whose header itself was unreadable.
+const tornHeader int64 = -1
+
+// readWALFile replays one journal file. Returns the header firstSeq,
+// how many records were read (applied or skipped), and tornAt: 0 for a
+// clean read, tornHeader for a bad header, else the byte offset of the
+// first torn frame. When first > expected the caller treats the whole
+// file as a gap; records are not applied in that case (the scan bails
+// out immediately).
+func readWALFile(path string, expected, skip uint64, apply func([]byte) error, rep *JournalReplay) (first uint64, recs int, tornAt int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, tornHeader, nil
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [walHeaderSize]byte
+	if _, err := readFull(br, hdr[:]); err != nil {
+		return 0, 0, tornHeader, nil
+	}
+	if string(hdr[:8]) != walMagic || walByteOrder.Uint32(hdr[8:12]) != walVersion {
+		return 0, 0, tornHeader, nil
+	}
+	first = walByteOrder.Uint64(hdr[12:20])
+	if first > expected {
+		return first, 0, 0, nil // gap; caller removes the file
+	}
+	off := int64(walHeaderSize)
+	var frame [walFrameSize]byte
+	var payload []byte
+	for {
+		n, err := readFull(br, frame[:])
+		if n == 0 {
+			return first, recs, 0, nil // clean EOF at a record boundary
+		}
+		if err != nil {
+			return first, recs, off, nil // torn frame header
+		}
+		length := walByteOrder.Uint32(frame[0:4])
+		sum := walByteOrder.Uint32(frame[4:8])
+		if length > walMaxRecord {
+			return first, recs, off, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := readFull(br, payload); err != nil {
+			return first, recs, off, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return first, recs, off, nil // corrupt record
+		}
+		seq := first + uint64(recs)
+		if seq >= skip {
+			if err := apply(payload); err != nil {
+				return first, recs, 0, fmt.Errorf("serve: journal: replaying %s record %d: %w", filepath.Base(path), recs, err)
+			}
+			rep.Records++
+		} else {
+			rep.Skipped++
+		}
+		recs++
+		off += int64(walFrameSize) + int64(length)
+	}
+}
+
+// readFull is io.ReadFull tolerating the (0, EOF) shape bufio returns
+// at end of stream; n reports how much actually arrived.
+func readFull(br *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := br.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Append frames one rendered console line into the journal. The caller
+// (the applier) appends every event of a batch and then calls Commit;
+// raw may be reused after return. A failed append wedges the journal —
+// see the package comment — but never blocks ingest.
+func (j *Journal) Append(raw []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.wedged {
+		if err := j.appendLocked(raw); err != nil {
+			j.wedged = true
+		} else {
+			j.next++
+			j.appends.Add(1)
+			return
+		}
+	}
+	// Wedged: the event is applied but not journaled; the sequence
+	// still advances so the recovery rotation records the gap honestly.
+	j.next++
+	j.appendFailures.Add(1)
+}
+
+func (j *Journal) appendLocked(raw []byte) error {
+	if err := fpJournalAppend.Eval(); err != nil {
+		return err
+	}
+	var frame [walFrameSize]byte
+	walByteOrder.PutUint32(frame[0:4], uint32(len(raw)))
+	walByteOrder.PutUint32(frame[4:8], crc32.Checksum(raw, castagnoli))
+	if _, err := j.bw.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := j.bw.Write(raw); err != nil {
+		return err
+	}
+	j.size += int64(walFrameSize) + int64(len(raw))
+	j.dirty = true
+	return nil
+}
+
+// Commit ends one batch: flush, fsync under the "always" policy, and
+// rotate when the current file is over size. A wedged journal uses the
+// commit point to attempt recovery by rotating to a fresh file.
+func (j *Journal) Commit() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		if j.rotateLocked() == nil {
+			j.wedged = false
+		}
+		return
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.wedged = true
+		return
+	}
+	if j.cfg.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			j.wedged = true
+			return
+		}
+	}
+	if j.size >= j.cfg.RotateBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.wedged = true
+		}
+	}
+}
+
+// Sync forces buffered records to disk (the interval syncer and Close
+// use it; tests call it to pin durability points).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		return nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.wedged = true
+		return err
+	}
+	if !j.dirty {
+		return nil
+	}
+	if err := j.syncLocked(); err != nil {
+		j.wedged = true
+		return err
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := fpJournalSync.Eval(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.dirty = false
+	j.syncs.Add(1)
+	return nil
+}
+
+// rotateLocked seals the current file (flush + fsync unless the policy
+// is off) and opens a fresh one whose header carries j.next.
+func (j *Journal) rotateLocked() error {
+	if j.f != nil {
+		if err := j.bw.Flush(); err != nil {
+			return err
+		}
+		if j.cfg.Fsync != FsyncOff {
+			if err := j.syncLocked(); err != nil {
+				return err
+			}
+		}
+		if err := j.f.Close(); err != nil {
+			return err
+		}
+		j.f = nil
+	}
+	name := fmt.Sprintf("wal-%020d.wal", j.next)
+	// A name collision can only be a record-less file from a previous
+	// incarnation (a file with records would have advanced next past
+	// its firstSeq), so truncating it loses nothing.
+	f, err := os.Create(filepath.Join(j.cfg.Dir, name))
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic)
+	walByteOrder.PutUint32(hdr[8:12], walVersion)
+	walByteOrder.PutUint64(hdr[12:20], j.next)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := syncPath(j.cfg.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	if len(j.files) > 0 && j.files[len(j.files)-1].name == name {
+		j.files = j.files[:len(j.files)-1]
+	}
+	j.files = append(j.files, walFile{name: name, first: j.next})
+	j.f = f
+	j.bw = bufio.NewWriterSize(f, 1<<16)
+	j.size = walHeaderSize
+	j.dirty = false
+	j.rotations.Add(1)
+	return nil
+}
+
+// Truncate deletes journal files wholly covered by the sealed floor:
+// file i can go once file i+1 starts at or below sealedSeq (every
+// record in i then has seq < sealedSeq). The open file always stays.
+func (j *Journal) Truncate(sealedSeq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keep := 0
+	for keep+1 < len(j.files) && j.files[keep+1].first <= sealedSeq {
+		if os.Remove(filepath.Join(j.cfg.Dir, j.files[keep].name)) != nil {
+			break
+		}
+		j.filesRemoved.Add(1)
+		keep++
+	}
+	if keep > 0 {
+		j.files = append([]walFile(nil), j.files[keep:]...)
+		_ = syncPath(j.cfg.Dir)
+	}
+}
+
+// NextSeq returns the global sequence the next appended record gets.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	wedged := j.wedged
+	next := j.next
+	j.mu.Unlock()
+	return JournalStats{
+		NextSeq:        next,
+		Appends:        j.appends.Load(),
+		AppendFailures: j.appendFailures.Load(),
+		Syncs:          j.syncs.Load(),
+		Rotations:      j.rotations.Load(),
+		FilesRemoved:   j.filesRemoved.Load(),
+		Wedged:         wedged,
+	}
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.cfg.Dir }
+
+// Close stops the interval syncer, flushes, fsyncs (unless the policy
+// is off) and closes the current file.
+func (j *Journal) Close() error {
+	if j.stop != nil {
+		close(j.stop)
+		j.syncerWG.Wait()
+		j.stop = nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	var err error
+	if !j.wedged {
+		err = j.bw.Flush()
+		if err == nil && j.cfg.Fsync != FsyncOff && j.dirty {
+			err = j.syncLocked()
+		}
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// syncLoop is the interval-policy background syncer.
+func (j *Journal) syncLoop() {
+	defer j.syncerWG.Done()
+	t := time.NewTicker(j.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			_ = j.Sync()
+		}
+	}
+}
+
+// syncPath fsyncs a directory so renames and creates inside it are
+// durable.
+func syncPath(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"titanre/internal/failpoint"
+)
+
+// collectLines returns an apply callback appending copies of replayed
+// records to out.
+func collectLines(out *[][]byte) func([]byte) error {
+	return func(line []byte) error {
+		*out = append(*out, append([]byte(nil), line...))
+		return nil
+	}
+}
+
+func journalCfg(dir string) JournalConfig {
+	return JournalConfig{Dir: dir, Fsync: FsyncOff}
+}
+
+func appendAll(t *testing.T, j *Journal, lines []string) {
+	t.Helper()
+	for _, l := range lines {
+		j.Append([]byte(l))
+	}
+	j.Commit()
+	if err := j.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// appendEach commits after every record, the way the applier commits
+// after every batch; rotation is only checked at commit boundaries.
+func appendEach(t *testing.T, j *Journal, lines []string) {
+	t.Helper()
+	for _, l := range lines {
+		j.Append([]byte(l))
+		j.Commit()
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rep, err := OpenJournal(journalCfg(dir), 0, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if rep.Records != 0 || rep.Torn {
+		t.Fatalf("fresh journal replayed %+v", rep)
+	}
+	want := []string{"alpha", "bravo charlie", "", "delta"}
+	appendAll(t, j, want)
+	if j.NextSeq() != uint64(len(want)) {
+		t.Fatalf("next seq %d, want %d", j.NextSeq(), len(want))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var got [][]byte
+	j2, rep2, err := OpenJournal(journalCfg(dir), 0, collectLines(&got))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if rep2.Records != len(want) || rep2.Torn {
+		t.Fatalf("replay %+v, want %d records untorn", rep2, len(want))
+	}
+	for i, l := range want {
+		if string(got[i]) != l {
+			t.Fatalf("record %d = %q, want %q", i, got[i], l)
+		}
+	}
+	if j2.NextSeq() != uint64(len(want)) {
+		t.Fatalf("reopened next seq %d, want %d", j2.NextSeq(), len(want))
+	}
+}
+
+func TestJournalSkip(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(journalCfg(dir), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, []string{"s0", "s1", "s2", "s3", "s4"})
+	j.Close()
+
+	var got [][]byte
+	_, rep, err := OpenJournal(journalCfg(dir), 3, collectLines(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 2 || rep.Skipped != 3 {
+		t.Fatalf("replay %+v, want 2 records / 3 skipped", rep)
+	}
+	if string(got[0]) != "s3" || string(got[1]) != "s4" {
+		t.Fatalf("replayed %q, want the unsealed tail", got)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a torn frame; replay
+// applies the valid prefix, truncates the tear, and appending resumes
+// contiguously.
+func TestJournalTornTail(t *testing.T) {
+	corruptions := []struct {
+		name string
+		chop func(size int64) int64 // bytes to keep
+	}{
+		{"half-frame-header", func(size int64) int64 { return size - 2 }},
+		{"half-payload", func(size int64) int64 { return size - 5 }},
+		{"frame-only", func(size int64) int64 { return size - 9 }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, _, err := OpenJournal(journalCfg(dir), 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, j, []string{"one", "two", "three-intact", "victim-ab"})
+			j.Close()
+			files, _ := filepath.Glob(filepath.Join(dir, "wal-*.wal"))
+			if len(files) != 1 {
+				t.Fatalf("want 1 wal file, have %v", files)
+			}
+			info, err := os.Stat(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(files[0], tc.chop(info.Size())); err != nil {
+				t.Fatal(err)
+			}
+
+			var got [][]byte
+			j2, rep, err := OpenJournal(journalCfg(dir), 0, collectLines(&got))
+			if err != nil {
+				t.Fatalf("reopen over torn tail: %v", err)
+			}
+			if !rep.Torn || rep.Records != 3 {
+				t.Fatalf("replay %+v, want 3 records and Torn", rep)
+			}
+			if j2.NextSeq() != 3 {
+				t.Fatalf("resume seq %d, want 3", j2.NextSeq())
+			}
+			appendAll(t, j2, []string{"four"})
+			j2.Close()
+
+			got = nil
+			_, rep3, err := OpenJournal(journalCfg(dir), 0, collectLines(&got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep3.Torn || rep3.Records != 4 {
+				t.Fatalf("third open %+v, want 4 clean records", rep3)
+			}
+			if string(got[3]) != "four" {
+				t.Fatalf("post-tear append replayed as %q", got[3])
+			}
+		})
+	}
+}
+
+// TestJournalBitFlip: a corrupted CRC stops replay at the bad record,
+// treating everything after as lost — the prefix property.
+func TestJournalBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(journalCfg(dir), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, []string{"good-0", "good-1", "flipme", "unreachable"})
+	j.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.wal"))
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the third record's payload.
+	off := walHeaderSize + 2*(walFrameSize+6) + walFrameSize + 2
+	data[off] ^= 0x01
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	_, rep, err := OpenJournal(journalCfg(dir), 0, collectLines(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.Records != 2 {
+		t.Fatalf("replay %+v, want to stop after 2 records", rep)
+	}
+	if string(got[1]) != "good-1" {
+		t.Fatalf("prefix %q", got)
+	}
+}
+
+// TestJournalRotationAndTruncate: rotation by size produces multiple
+// files; truncation deletes exactly the files the sealed floor covers
+// and replay of the remainder still reconstructs the tail.
+func TestJournalRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalCfg(dir)
+	cfg.RotateBytes = 256 // tiny: force rotations
+	j, _, err := OpenJournal(cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100
+	var lines []string
+	for i := 0; i < total; i++ {
+		lines = append(lines, fmt.Sprintf("record-%03d-padding-padding", i))
+	}
+	appendEach(t, j, lines)
+	if j.Stats().Rotations < 3 {
+		t.Fatalf("only %d rotations at a 256-byte cap", j.Stats().Rotations)
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "wal-*.wal"))
+	j.Truncate(60)
+	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.wal"))
+	if len(after) >= len(before) {
+		t.Fatalf("truncate removed nothing (%d -> %d files)", len(before), len(after))
+	}
+	j.Close()
+
+	var got [][]byte
+	_, rep, err := OpenJournal(cfg, 60, collectLines(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != total-60 {
+		t.Fatalf("replayed %d records after truncate(60), want %d", rep.Records, total-60)
+	}
+	if string(got[0]) != lines[60] || string(got[len(got)-1]) != lines[total-1] {
+		t.Fatalf("tail replay bounds wrong: %q .. %q", got[0], got[len(got)-1])
+	}
+}
+
+// TestJournalGap: a deleted middle file is a sequence gap; replay stops
+// before it and the unusable later files are removed.
+func TestJournalGap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalCfg(dir)
+	cfg.RotateBytes = 256
+	j, _, err := OpenJournal(cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for i := 0; i < 60; i++ {
+		lines = append(lines, fmt.Sprintf("record-%03d-padding-padding", i))
+	}
+	appendEach(t, j, lines)
+	j.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.wal"))
+	if len(files) < 3 {
+		t.Fatalf("need >= 3 files for a middle gap, have %d", len(files))
+	}
+	if err := os.Remove(files[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	j2, rep, err := OpenJournal(cfg, 0, collectLines(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.FilesRemoved != len(files)-2 {
+		t.Fatalf("removed %d gapped files, want %d", rep.FilesRemoved, len(files)-2)
+	}
+	for i, l := range got {
+		if string(l) != lines[i] {
+			t.Fatalf("record %d = %q, want %q", i, l, lines[i])
+		}
+	}
+	if int(j2.NextSeq()) != len(got) {
+		t.Fatalf("resume seq %d after %d contiguous records", j2.NextSeq(), len(got))
+	}
+}
+
+// TestJournalWedgeRecovers: an injected append failure wedges the
+// journal (events keep applying, failures are counted) and the next
+// commit recovers by rotating; the gap is explicit in the file headers
+// so replay stops at it instead of silently skipping records.
+func TestJournalWedgeRecovers(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	dir := t.TempDir()
+	j, _, err := OpenJournal(journalCfg(dir), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append([]byte("pre-0"))
+	j.Append([]byte("pre-1"))
+	j.Commit()
+	if err := failpoint.Enable("serve.journal.append", "error:1"); err != nil {
+		t.Fatal(err)
+	}
+	j.Append([]byte("dropped-2")) // injected failure wedges
+	j.Append([]byte("dropped-3")) // skipped while wedged
+	j.Commit()                    // recovery rotation
+	st := j.Stats()
+	if st.AppendFailures != 2 || st.Wedged {
+		t.Fatalf("stats %+v, want 2 failures and recovered", st)
+	}
+	j.Append([]byte("post-4"))
+	j.Commit()
+	if j.NextSeq() != 5 {
+		t.Fatalf("next seq %d, want 5 (gap counted)", j.NextSeq())
+	}
+	j.Close()
+
+	var got [][]byte
+	_, rep, err := OpenJournal(journalCfg(dir), 0, collectLines(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 2 || string(got[1]) != "pre-1" {
+		t.Fatalf("replay past the gap: %+v %q", rep, got)
+	}
+}

@@ -47,6 +47,7 @@ type metrics struct {
 	// Compaction (see compact.go).
 	compactions     atomic.Uint64 // successful compaction passes
 	compactFailures atomic.Uint64 // passes that failed to seal
+	compactRetries  atomic.Uint64 // chunk seals retried after a transient fault
 	eventsSealed    atomic.Uint64 // events moved from memory into segments
 
 	// Ingest latency histogram (request admission to 202, seconds).
@@ -88,6 +89,15 @@ type snapshotGauges struct {
 	sealedBytes    int64
 	lastCompact    int64 // unix seconds, 0 = never
 	heapInuse      uint64
+
+	// Crash recovery: degraded-start accounting plus, when the
+	// write-ahead journal is active, its counter snapshot.
+	degraded         bool
+	quarantinedSegs  int
+	quarantinedBytes int64
+	eventsLost       uint64
+	sealedSeq        uint64
+	journal          *JournalStats
 }
 
 // write renders the Prometheus text exposition. Counter names follow the
@@ -117,7 +127,21 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 	counter("titand_warnings_issued_total", "Precursor warnings issued by the armed prediction rules.", m.warningsIssued.Load())
 	counter("titand_compactions_total", "Compaction passes that sealed retained events into segments.", m.compactions.Load())
 	counter("titand_compaction_failures_total", "Compaction passes that failed to seal (events stay retained).", m.compactFailures.Load())
+	counter("titand_compaction_retries_total", "Chunk seals retried after a transient I/O fault (jittered exponential backoff).", m.compactRetries.Load())
 	counter("titand_events_sealed_total", "Events moved from the retained log into on-disk columnar segments.", m.eventsSealed.Load())
+	if g.journal != nil {
+		counter("titand_journal_appends_total", "Events framed into the write-ahead journal.", g.journal.Appends)
+		counter("titand_journal_append_failures_total", "Events applied but not journaled because the journal was wedged by an I/O failure.", g.journal.AppendFailures)
+		counter("titand_journal_syncs_total", "Journal fsync calls (policy-dependent).", g.journal.Syncs)
+		counter("titand_journal_rotations_total", "Journal file rotations.", g.journal.Rotations)
+		counter("titand_journal_files_removed_total", "Journal files deleted after the sealed floor covered them.", g.journal.FilesRemoved)
+		wedged := 0.0
+		if g.journal.Wedged {
+			wedged = 1
+		}
+		gauge("titand_journal_wedged", "1 while the journal is wedged by an append failure (recovers at the next rotation).", wedged)
+		gauge("titand_journal_next_seq", "Global sequence the next journaled event receives.", float64(g.journal.NextSeq))
+	}
 
 	// Ingest latency histogram.
 	fmt.Fprintf(bw, "# HELP titand_ingest_latency_seconds Ingest request latency (admission to response).\n")
@@ -142,6 +166,15 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 	gauge("titand_sealed_events", "Events stored in sealed columnar segments.", float64(g.sealedEvents))
 	gauge("titand_sealed_segment_bytes", "Total on-disk bytes of sealed segment files.", float64(g.sealedBytes))
 	gauge("titand_last_compaction_timestamp_seconds", "Unix time of the last successful compaction (0 = never).", float64(g.lastCompact))
+	gauge("titand_sealed_seq", "Global sequence the sealed history durably covers (the SEALED floor).", float64(g.sealedSeq))
+	degraded := 0.0
+	if g.degraded {
+		degraded = 1
+	}
+	gauge("titand_degraded", "1 when the warm start quarantined corrupt segments; the detector history has counted holes.", degraded)
+	gauge("titand_quarantined_segments", "Corrupt segment files moved aside by the warm start.", float64(g.quarantinedSegs))
+	gauge("titand_quarantined_bytes", "On-disk bytes of quarantined segment files.", float64(g.quarantinedBytes))
+	gauge("titand_events_lost_to_quarantine", "Exact events inside quarantined segments (from the SEALED floor arithmetic).", float64(g.eventsLost))
 	gauge("titand_heap_inuse_bytes", "Go runtime heap bytes in use (runtime.MemStats.HeapInuse).", float64(g.heapInuse))
 	drain := 0.0
 	if g.draining {

@@ -83,6 +83,21 @@ type Config struct {
 	// CompactMin is the minimum number of sealable events worth a
 	// segment (default 1024); smaller backlogs wait for the next tick.
 	CompactMin int
+	// JournalDir, when non-empty, enables the arrival-order write-ahead
+	// journal: every applied event is appended (as its canonical console
+	// rendering) before it touches the online state, so a kill -9
+	// restart replays segments then journal and lands byte-identical to
+	// an uninterrupted daemon. Requires CompactDir (compaction drives
+	// journal truncation) and a WarmStart before ingest.
+	JournalDir string
+	// JournalFsync is the journal durability policy: FsyncAlways (sync
+	// every batch commit), FsyncInterval (timer-driven, the default) or
+	// FsyncOff (page cache only).
+	JournalFsync string
+	// JournalSyncInterval is the FsyncInterval cadence (default 100 ms).
+	JournalSyncInterval time.Duration
+	// JournalRotateBytes caps one journal file (default 4 MiB).
+	JournalRotateBytes int64
 }
 
 // DefaultConfig returns the production defaults.
@@ -128,6 +143,19 @@ type Server struct {
 	lastCompact atomic.Int64
 	compactStop chan struct{}
 	compactWG   sync.WaitGroup
+
+	// journal is the write-ahead journal (nil unless JournalDir is set
+	// and WarmStart opened it); sealedSeq is the global sequence the
+	// sealed history durably covers — the SEALED floor — advanced by
+	// compaction and used to truncate the journal.
+	journal   atomic.Pointer[Journal]
+	sealedSeq atomic.Uint64
+
+	// recovMu guards the degraded-start bookkeeping WarmStart fills
+	// when segments had to be quarantined.
+	recovMu    sync.Mutex
+	recovery   store.Recovery
+	eventsLost uint64
 
 	parseWG sync.WaitGroup
 	applyWG sync.WaitGroup
@@ -317,8 +345,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return err
 		}
 	}
+	// The journal closes last: the final seal above already advanced the
+	// floor past everything it held, so after a clean shutdown a warm
+	// start replays segments alone.
+	if j := s.journal.Load(); j != nil {
+		if err := j.Close(); err != nil && httpErr == nil {
+			httpErr = fmt.Errorf("serve: closing journal: %w", err)
+		}
+	}
 	return httpErr
 }
+
+// applyEventLocked folds one event into the cross-node state the
+// applier owns — alert engine, precursor warner, per-code totals, the
+// age watermark. stateMu must be held. The live applier, segment
+// replay and journal replay all feed through here, which is what makes
+// a restarted daemon's detector state bit-equal to an uninterrupted
+// one's.
+func (s *Server) applyEventLocked(ev console.Event) {
+	before := s.alertEngine.Count()
+	s.alertEngine.Feed(ev)
+	if d := s.alertEngine.Count() - before; d > 0 {
+		s.metrics.alertsRaised.Add(uint64(d))
+	}
+	if s.warner != nil {
+		if _, warned := s.warner.Feed(ev); warned {
+			s.metrics.warningsIssued.Add(1)
+		}
+	}
+	s.codeTotals[ev.Code]++
+	if ev.Time.After(s.maxApplied) {
+		s.maxApplied = ev.Time
+	}
+}
+
+// Journal returns the open write-ahead journal, nil when journaling is
+// not active.
+func (s *Server) Journal() *Journal { return s.journal.Load() }
 
 // ---- Handlers ----
 
@@ -558,9 +621,24 @@ type Stats struct {
 	SealedEvents       int    `json:"sealed_events"`
 	SealedSegmentBytes int64  `json:"sealed_segment_bytes"`
 	Compactions        uint64 `json:"compactions"`
+	CompactionRetries  uint64 `json:"compaction_retries"`
 	EventsSealed       uint64 `json:"events_sealed"`
 	LastCompactionUnix int64  `json:"last_compaction_unix"`
 	HeapInuseBytes     uint64 `json:"heap_inuse_bytes"`
+
+	// Crash recovery: Degraded is true when a warm start had to
+	// quarantine corrupt segments; the quarantine figures are exact
+	// (EventsLost comes from the SEALED floor — the sequence the history
+	// should cover minus what actually loaded).
+	Degraded            bool   `json:"degraded"`
+	QuarantinedSegments int    `json:"quarantined_segments"`
+	QuarantinedBytes    int64  `json:"quarantined_bytes"`
+	EventsLost          uint64 `json:"events_lost_to_quarantine"`
+	OrphansRemoved      int    `json:"orphans_removed"`
+	SealedSeq           uint64 `json:"sealed_seq"`
+
+	// Journal is present when the write-ahead journal is active.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -604,8 +682,21 @@ func (s *Server) StatsNow() Stats {
 		st.SealedSegmentBytes = sealed.DiskBytes()
 	}
 	st.Compactions = m.compactions.Load()
+	st.CompactionRetries = m.compactRetries.Load()
 	st.EventsSealed = m.eventsSealed.Load()
 	st.LastCompactionUnix = s.lastCompact.Load()
+	st.SealedSeq = s.sealedSeq.Load()
+	s.recovMu.Lock()
+	st.QuarantinedSegments = len(s.recovery.Quarantined)
+	st.QuarantinedBytes = s.recovery.QuarantinedBytes
+	st.OrphansRemoved = s.recovery.OrphansRemoved
+	st.EventsLost = s.eventsLost
+	s.recovMu.Unlock()
+	st.Degraded = st.QuarantinedSegments > 0 || st.EventsLost > 0
+	if j := s.journal.Load(); j != nil {
+		js := j.Stats()
+		st.Journal = &js
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	st.HeapInuseBytes = ms.HeapInuse
@@ -654,6 +745,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.sealedEvents = sealed.EventCount()
 		g.sealedBytes = sealed.DiskBytes()
 	}
+	g.sealedSeq = s.sealedSeq.Load()
+	s.recovMu.Lock()
+	g.quarantinedSegs = len(s.recovery.Quarantined)
+	g.quarantinedBytes = s.recovery.QuarantinedBytes
+	g.eventsLost = s.eventsLost
+	s.recovMu.Unlock()
+	g.degraded = g.quarantinedSegs > 0 || g.eventsLost > 0
+	if j := s.journal.Load(); j != nil {
+		js := j.Stats()
+		g.journal = &js
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	g.heapInuse = ms.HeapInuse
@@ -669,8 +771,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = "draining"
 	}
+	// history is the confidence flag a degraded start carries: the
+	// daemon is serving, but quarantined segments mean its detector
+	// state was rebuilt from a history with counted holes.
+	history := "complete"
+	s.recovMu.Lock()
+	if len(s.recovery.Quarantined) > 0 || s.eventsLost > 0 {
+		history = "degraded"
+	}
+	s.recovMu.Unlock()
 	writeJSON(w, map[string]any{
 		"status":         status,
+		"history":        history,
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 	})
 }

@@ -1,69 +1,156 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"titanre/internal/console"
 	"titanre/internal/dataset"
+	"titanre/internal/failpoint"
 	"titanre/internal/store"
 )
 
-// Warm restart — the inverse of the SIGTERM flush.
+// Warm restart — the inverse of the SIGTERM flush, and after this PR
+// also the inverse of a kill -9.
 //
 // A shutdown with compaction configured leaves a state directory whose
 // segments subdirectory holds the complete applied history in sealed
-// columnar form (plus, with SnapshotDir, the flat dataset artifacts).
-// WarmStart replays that history through the exact apply sequence the
-// live pipeline uses, so the daemon resumes with its sliding windows,
-// per-card counters, retirement machines, alert engine and armed
-// precursor rules in the same state streaming the history would have
-// produced — /alerts and /warnings are byte-identical to a daemon that
-// saw the whole stream (TestWarmRestartMatchesFullStream).
+// columnar form; a crashed daemon additionally leaves the write-ahead
+// journal covering everything applied since the last compaction.
+// WarmStart replays segments first, then the journal from the sealed
+// floor, through the exact apply sequence the live pipeline uses, so
+// the daemon resumes with /alerts and /warnings byte-identical to a
+// daemon that never died (TestWarmRestartMatchesFullStream,
+// TestCrashRestartMatchesUninterrupted).
+//
+// Corrupt segments do not block the restart: they are quarantined
+// (store.OpenRecover) and the daemon starts degraded, reporting the
+// exact loss — segments and bytes from the quarantine move, events
+// from the SEALED floor arithmetic (see store/floor.go).
 
-// WarmStats reports what a warm start replayed.
+var fpWarmReplay = failpoint.Register("serve.warm.replay")
+
+// WarmStats reports what a warm start replayed and recovered.
 type WarmStats struct {
-	// Replayed is the number of events fed back through the pipeline.
+	// Replayed is the number of events fed back through the pipeline
+	// from segments or the flat console.log (journal events excluded).
 	Replayed int
 	// FromSegments is true when the history came from sealed columnar
 	// segments (the flat console.log was used otherwise).
 	FromSegments bool
+	// JournalReplayed counts events recovered from the write-ahead
+	// journal — the applied tail a crash would otherwise have lost.
+	JournalReplayed int
+	// JournalTorn is true when journal replay stopped at a torn record,
+	// the expected shape of a crash mid-append.
+	JournalTorn bool
+	// Quarantined counts segment files moved aside as corrupt;
+	// EventsLost is the exact event count inside them (from the SEALED
+	// floor; 0 when the store never compacted under a floor-writing
+	// daemon).
+	Quarantined int
+	EventsLost  uint64
 }
 
 // WarmStart rebuilds the online state from a state directory: sealed
 // segments under dir/segments are preferred (a compacting titand's
 // complete history); the dataset console.log is parsed when there are
-// no segments. Events replayed from segments are not re-retained —
-// they are already sealed — while console.log events enter the
-// retained log as if streamed, so a later compaction or snapshot sees
-// them. A missing or empty directory is a cold start: (zero, nil).
+// no segments, no sealed floor and no journal records. Events replayed
+// from segments are not re-retained — they are already sealed — while
+// console.log and journal events enter the retained log as if
+// streamed, so a later compaction or snapshot sees them. A missing or
+// empty directory is a cold start: (zero, nil).
 //
 // WarmStart must be called before any ingest is admitted (cmd/titand
 // calls it before Serve). When compaction is configured, CompactDir
-// must be dir/segments so new seals extend the same history.
+// must be dir/segments so new seals extend the same history. When
+// JournalDir is configured, WarmStart is what opens the journal.
 func (s *Server) WarmStart(dir string) (WarmStats, error) {
 	var ws WarmStats
 	segDir := filepath.Join(dir, dataset.SegmentsDir)
 	if s.cfg.CompactDir != "" && filepath.Clean(s.cfg.CompactDir) != filepath.Clean(segDir) {
 		return ws, fmt.Errorf("serve: warm start: CompactDir %s is not %s", s.cfg.CompactDir, segDir)
 	}
-	st, err := store.Open(segDir)
+	if s.cfg.JournalDir != "" && s.cfg.CompactDir == "" {
+		return ws, fmt.Errorf("serve: warm start: JournalDir requires CompactDir (compaction drives journal truncation)")
+	}
+	st, rec, err := store.OpenRecover(segDir)
 	if err != nil {
 		return ws, fmt.Errorf("serve: warm start: %w", err)
 	}
+	floorSeq, floorCount, haveFloor, err := store.ReadSealedFloor(segDir)
+	if err != nil {
+		return ws, fmt.Errorf("serve: warm start: %w", err)
+	}
+
+	// The sealed floor arithmetic: skip is the global sequence where
+	// journal replay resumes; lost is the exact count inside the
+	// quarantined segments. The delta term covers a crash between a
+	// seal and the floor update.
+	loaded := uint64(st.EventCount())
+	skip := loaded
+	if haveFloor {
+		skip = floorSeq
+		if loaded > floorCount {
+			skip += loaded - floorCount
+		}
+		if floorCount > loaded {
+			ws.EventsLost = floorCount - loaded
+		}
+	}
+	ws.Quarantined = len(rec.Quarantined)
+	s.recovMu.Lock()
+	s.recovery = rec
+	s.eventsLost = ws.EventsLost
+	s.recovMu.Unlock()
+	s.sealedSeq.Store(skip)
 
 	// Replay order is storage order — the arrival order the original
 	// daemon applied (compaction and the snapshot both preserve it) —
 	// so the rebuilt detector state is exactly what streaming the
 	// history would have produced.
+	usedSegments := st.SegmentCount() > 0 || haveFloor || len(rec.Quarantined) > 0
 	var events []console.Event
-	if st.SegmentCount() > 0 {
+	if usedSegments {
 		ws.FromSegments = true
 		events = st.Events()
-	} else {
+	}
+
+	// The journal opens (and replays its surviving records) before any
+	// console.log fallback: a journal with records is the authoritative
+	// uncompacted tail, and on a first boot from a flat dataset the
+	// flat events are appended to it so the journal alone covers the
+	// retained log from then on.
+	var journal *Journal
+	var journalLines bytes.Buffer
+	journalRecords := 0
+	if s.cfg.JournalDir != "" {
+		j, jrep, err := OpenJournal(JournalConfig{
+			Dir:          s.cfg.JournalDir,
+			Fsync:        s.cfg.JournalFsync,
+			SyncInterval: s.cfg.JournalSyncInterval,
+			RotateBytes:  s.cfg.JournalRotateBytes,
+		}, skip, func(line []byte) error {
+			journalLines.Write(line)
+			journalLines.WriteByte('\n')
+			return nil
+		})
+		if err != nil {
+			return ws, fmt.Errorf("serve: warm start: %w", err)
+		}
+		journal = j
+		journalRecords = jrep.Records
+		ws.JournalTorn = jrep.Torn
+	}
+
+	if !usedSegments && journalRecords == 0 {
 		f, err := os.Open(filepath.Join(dir, dataset.ConsoleFile))
 		if os.IsNotExist(err) {
+			if journal != nil {
+				s.journal.Store(journal)
+			}
 			return ws, nil // cold start
 		}
 		if err != nil {
@@ -76,30 +163,26 @@ func (s *Server) WarmStart(dir string) (WarmStats, error) {
 		}
 	}
 	ws.Replayed = len(events)
-	if len(events) == 0 && !ws.FromSegments {
-		return ws, nil
-	}
 
 	// Replay through the applier's exact sequence: cross-node detectors
 	// and totals under stateMu, then the per-node shard dispatches.
+	retainFlat := !ws.FromSegments && s.cfg.RetainEvents
+	var raw []byte
 	s.stateMu.Lock()
 	for _, ev := range events {
-		before := s.alertEngine.Count()
-		s.alertEngine.Feed(ev)
-		if d := s.alertEngine.Count() - before; d > 0 {
-			s.metrics.alertsRaised.Add(uint64(d))
+		if err := fpWarmReplay.Eval(); err != nil {
+			s.stateMu.Unlock()
+			return ws, fmt.Errorf("serve: warm start: %w", err)
 		}
-		if s.warner != nil {
-			if _, warned := s.warner.Feed(ev); warned {
-				s.metrics.warningsIssued.Add(1)
-			}
-		}
-		s.codeTotals[ev.Code]++
-		if ev.Time.After(s.maxApplied) {
-			s.maxApplied = ev.Time
-		}
-		if !ws.FromSegments && s.cfg.RetainEvents {
+		s.applyEventLocked(ev)
+		if retainFlat {
 			s.events = append(s.events, ev)
+			if journal != nil {
+				// First boot from a flat dataset: write-ahead the flat
+				// history so the journal covers the whole retained log.
+				raw = ev.AppendRaw(raw[:0])
+				journal.Append(raw)
+			}
 		}
 	}
 	s.stateMu.Unlock()
@@ -107,14 +190,52 @@ func (s *Server) WarmStart(dir string) (WarmStats, error) {
 		s.shards.dispatch(ev)
 	}
 	s.metrics.eventsApplied.Add(uint64(len(events)))
+	if journal != nil && retainFlat && len(events) > 0 {
+		journal.Commit()
+		_ = journal.Sync()
+	}
 
-	if ws.FromSegments {
+	// Journal replay: parse the recovered renderings back into events
+	// (AppendRaw round-trips exactly) and run them through the same
+	// apply sequence. These events are the unsealed tail, so they are
+	// retained for the next compaction.
+	if journalRecords > 0 {
+		jev, err := console.NewCorrelator().ParseAll(&journalLines)
+		if err != nil {
+			return ws, fmt.Errorf("serve: warm start: journal replay: %w", err)
+		}
+		if len(jev) != journalRecords {
+			return ws, fmt.Errorf("serve: warm start: journal replay parsed %d events from %d records", len(jev), journalRecords)
+		}
+		s.stateMu.Lock()
+		for _, ev := range jev {
+			if err := fpWarmReplay.Eval(); err != nil {
+				s.stateMu.Unlock()
+				return ws, fmt.Errorf("serve: warm start: %w", err)
+			}
+			s.applyEventLocked(ev)
+			if s.cfg.RetainEvents {
+				s.events = append(s.events, ev)
+			}
+		}
+		s.stateMu.Unlock()
+		for _, ev := range jev {
+			s.shards.dispatch(ev)
+		}
+		s.metrics.eventsApplied.Add(uint64(len(jev)))
+		ws.JournalReplayed = len(jev)
+	}
+
+	if usedSegments {
 		// Adopt the loaded store: new compactions seal into the same
 		// history, /history scans it, and the shutdown snapshot streams
 		// from it.
 		s.sealedMu.Lock()
 		s.sealed = st
 		s.sealedMu.Unlock()
+	}
+	if journal != nil {
+		s.journal.Store(journal)
 	}
 	return ws, nil
 }

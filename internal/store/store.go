@@ -2,10 +2,12 @@ package store
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,45 +29,128 @@ type Store struct {
 	count     int
 }
 
+// QuarantineDir is the subdirectory corrupt segment files are moved
+// into by OpenRecover, preserving the evidence for offline forensics
+// without letting it block a restart.
+const QuarantineDir = "quarantine"
+
+// Recovery reports what OpenRecover had to do to bring a store up.
+type Recovery struct {
+	// Quarantined lists the segment file names (not paths) moved into
+	// the quarantine subdirectory because they failed validation.
+	Quarantined []string
+	// QuarantinedBytes is their total on-disk size.
+	QuarantinedBytes int64
+	// OrphansRemoved counts .seg-* temp files — the debris of a crash
+	// mid-commit, before the atomic rename — deleted during the open.
+	OrphansRemoved int
+}
+
 // Open opens (or initializes) a segment store in dir. A missing
 // directory is an empty store; it is created on first seal. Existing
 // segment files are read, digest-validated, and registered in
-// file-name order — the order they were sealed.
+// file-name order — the order they were sealed. Orphaned .seg-* temp
+// files left by a crash mid-commit are removed. Any segment that fails
+// validation aborts the open; use OpenRecover to quarantine it and
+// start degraded instead.
 func Open(dir string) (*Store, error) {
+	st, _, err := open(dir, false)
+	return st, err
+}
+
+// OpenRecover opens a segment store the way a restart after a crash
+// must: orphaned temp files are removed, and a segment file that fails
+// validation (ErrCorrupt — torn write, bit flip, truncation) is moved
+// into dir/quarantine and counted instead of aborting the open. The
+// surviving segments load normally; the Recovery report carries the
+// exact quarantine accounting the caller surfaces. I/O errors that are
+// not corruption (permissions, a vanished directory) still fail.
+func OpenRecover(dir string) (*Store, Recovery, error) {
+	return open(dir, true)
+}
+
+func open(dir string, recoverCorrupt bool) (*Store, Recovery, error) {
 	st := &Store{dir: dir}
+	var rec Recovery
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
-		return st, nil
+		return st, rec, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+		return nil, rec, fmt.Errorf("store: opening %s: %w", dir, err)
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && filepath.Ext(name) == ".seg" {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".seg-") {
+			// A temp file from an interrupted commit: its rename never
+			// happened, so no reader ever saw it — safe to delete.
+			if err := os.Remove(filepath.Join(dir, name)); err == nil {
+				rec.OrphansRemoved++
+			}
+			continue
+		}
+		if filepath.Ext(name) == ".seg" {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		seg, err := ReadSegmentFile(filepath.Join(dir, name))
-		if err != nil {
-			return nil, err
-		}
-		info, err := os.Stat(filepath.Join(dir, name))
-		if err != nil {
-			return nil, fmt.Errorf("store: opening %s: %w", dir, err)
-		}
-		st.segs = append(st.segs, seg)
-		st.diskBytes += info.Size()
-		st.count += seg.Len()
+		path := filepath.Join(dir, name)
+		// Advance the numbering past every file seen — including ones
+		// about to be quarantined — so a later seal never reuses the
+		// name of a file now sitting in quarantine.
 		var num int
 		if _, err := fmt.Sscanf(name, "seg-%d.seg", &num); err == nil && num >= st.next {
 			st.next = num + 1
 		}
+		seg, err := ReadSegmentFile(path)
+		if err != nil {
+			if recoverCorrupt && errors.Is(err, ErrCorrupt) {
+				size, qerr := quarantine(dir, name)
+				if qerr != nil {
+					return nil, rec, fmt.Errorf("store: quarantining %s: %w", path, qerr)
+				}
+				rec.Quarantined = append(rec.Quarantined, name)
+				rec.QuarantinedBytes += size
+				continue
+			}
+			return nil, rec, err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, rec, fmt.Errorf("store: opening %s: %w", dir, err)
+		}
+		st.segs = append(st.segs, seg)
+		st.diskBytes += info.Size()
+		st.count += seg.Len()
 	}
-	return st, nil
+	return st, rec, nil
+}
+
+// quarantine moves one corrupt segment file into dir/quarantine,
+// returning its size. The move is a same-filesystem rename, so the
+// evidence bytes are preserved exactly.
+func quarantine(dir, name string) (int64, error) {
+	src := filepath.Join(dir, name)
+	info, err := os.Stat(src)
+	if err != nil {
+		return 0, err
+	}
+	qdir := filepath.Join(dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(src, filepath.Join(qdir, name)); err != nil {
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
 }
 
 // Dir returns the store's directory.

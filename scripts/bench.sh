@@ -8,11 +8,14 @@
 # 2 allocs/op, or the script exits non-zero.
 #
 # Then runs the titand ingest benchmark (internal/serve harness): a
-# lossless capacity replay over loopback HTTP, and an overload replay at
-# 2x a metered drain rate that must shed with 429s rather than stall.
-# The result lands in BENCH_serve.json (capacity lines/s, p99 ingest
-# latency, shed fraction under overload); the harness itself enforces
-# the 100k lines/s capacity floor.
+# lossless capacity replay over loopback HTTP, an overload replay at
+# 2x a metered drain rate that must shed with 429s rather than stall,
+# and the same replay with the write-ahead journal active under each
+# fsync policy (always / interval / off). The result lands in
+# BENCH_serve.json (capacity lines/s, p99 ingest latency, shed fraction
+# under overload, journaled lines/s per policy); the harness enforces
+# the 100k lines/s capacity floor and this script holds the default
+# interval policy to the same floor.
 #
 # Finally runs the columnar store benchmarks (BenchmarkLoadColumnar,
 # BenchmarkScanCode) plus the store memory harness, records them in
@@ -98,9 +101,24 @@ if ! BENCH_SERVE_OUT="$SERVE_OUT" go test ./internal/serve \
     rm -f "$SERVE_RAW"
     exit 1
 fi
-grep -E 'capacity:|overload' "$SERVE_RAW" || true
+grep -E 'capacity:|overload|journal' "$SERVE_RAW" || true
 rm -f "$SERVE_RAW"
 echo "== wrote $SERVE_OUT"
+
+# Journal budget: the default fsync policy (interval) must hold the
+# same 100k lines/s floor the unjournaled capacity run is held to —
+# crash safety is not allowed to cost the ingest headroom.
+JOURNAL_FLOOR=100000
+JRATE=$(awk -F'"journal_lines_per_sec_interval": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$SERVE_OUT")
+if [ -z "$JRATE" ]; then
+    echo "bench.sh: journal_lines_per_sec_interval missing from $SERVE_OUT" >&2
+    exit 1
+fi
+if [ "${JRATE%%.*}" -lt "$JOURNAL_FLOOR" ]; then
+    echo "bench.sh: journaled ingest (fsync interval) at $JRATE lines/s, floor is $JOURNAL_FLOOR" >&2
+    exit 1
+fi
+echo "== journaled ingest (fsync interval): $JRATE lines/s (floor $JOURNAL_FLOOR)"
 
 STORE_OUT="${BENCH_STORE_OUT:-BENCH_store.json}"
 echo "== columnar store benchmarks (benchtime $BENCHTIME)"

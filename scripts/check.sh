@@ -1,9 +1,10 @@
 #!/bin/sh
 # check.sh — the full local verification gate:
 #   build, vet, race-enabled tests, the columnar segment round-trip
-#   digests, a short fuzz smoke of the console parser (the recovering
-#   ingest path is built on it), and the benchmark budgets (fast-path
-#   decode allocs, columnar load bytes/allocs, store heap per event).
+#   digests, the crash-recovery soak (kill at every failpoint), a short
+#   fuzz smoke of the console parser (the recovering ingest path is
+#   built on it), and the benchmark budgets (fast-path decode allocs,
+#   columnar load bytes/allocs, store heap per event, journal overhead).
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -31,6 +32,13 @@ echo "== columnar segment round-trip digests (seal -> scan, race mode)"
 go test -race ./internal/store -run 'TestRoundTripDigest|TestEventsExact' -count=2
 go test -race ./internal/dataset -run 'TestColumnarLoadIdentical|TestColumnarReportIdentical' -count=1
 go test -race ./internal/serve -run 'TestCompactionBoundsRetained|TestWarmRestart' -count=1
+
+echo "== crash-recovery equivalence (journal + quarantine, race mode)"
+go test -race ./internal/serve -run 'TestCrashRestart|TestKillMidCompactionRecovery|TestQuarantineDegradedStart' -count=1
+go test -race ./internal/store -run 'TestOpenRecover|TestOpenRemovesOrphans' -count=1
+
+echo "== crash-recovery soak (kill at every failpoint, scripts/crash.sh)"
+./scripts/crash.sh
 
 echo "== benchmark smoke (full-period simulation, one iteration)"
 go test . -run '^$' -bench 'BenchmarkSimulationFullPeriod$' -benchtime 1x
