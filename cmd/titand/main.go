@@ -10,7 +10,7 @@
 //	       [-train console.log] [-min-support N] [-min-confidence F]
 //	       [-snapshot DIR] [-no-retain] [-warm-dir DIR]
 //	       [-compact-dir DIR] [-compact-interval D] [-compact-age D]
-//	       [-compact-min N] [-journal] [-journal-fsync POLICY]
+//	       [-compact-min N] [-mmap] [-journal] [-journal-fsync POLICY]
 //	       [-journal-sync-interval D] [-journal-rotate-bytes N]
 //	       [-failpoints SPEC] [-list-failpoints]
 //
@@ -23,6 +23,14 @@
 //	GET  /nodes/{cname}/history  the node's full event history — sealed
 //	                             segments plus the retained tail —
 //	                             optionally bounded by ?since=/?until=
+//	GET  /codes/{xid}/history    every event carrying one code,
+//	                             fleet-wide, off the per-code bitmaps
+//	                             (?since= ?until= ?limit=)
+//	GET  /rollup                 time-bucketed fleet-wide counts —
+//	                             ?by=code,cabinet&bucket=1h is the
+//	                             paper's Fig 3 as live JSON
+//	GET  /top                    offender cards ranked by event count
+//	                             (?k= ?by=node|serial|code ?code=)
 //	GET  /alerts                 every alert raised so far
 //	GET  /warnings               every armed-rule precursor warning issued
 //	GET  /stats                  ingest/decode/apply counters as JSON
@@ -97,6 +105,7 @@ func main() {
 	compactInterval := flag.Duration("compact-interval", 0, "background compaction period (0 = default 1m)")
 	compactAge := flag.Duration("compact-age", 0, "events older than this, by stream time, are sealed (0 = default 10m)")
 	compactMin := flag.Int("compact-min", 0, "minimum sealable events before a compaction runs (0 = default 1024)")
+	mmapSegments := flag.Bool("mmap", true, "mmap sealed segments read-only so fleet-wide queries scan the page cache instead of heap copies (heap fallback where unsupported)")
 	journal := flag.Bool("journal", false, "write-ahead journal applied events under <warm-dir>/journal (crash safety; requires -warm-dir)")
 	journalDir := flag.String("journal-dir", "", "journal directory (default <warm-dir>/journal; implies -journal)")
 	journalFsync := flag.String("journal-fsync", "", "journal fsync policy: always, interval, off (default interval)")
@@ -135,6 +144,7 @@ func main() {
 	cfg.CompactInterval = *compactInterval
 	cfg.CompactAge = *compactAge
 	cfg.CompactMin = *compactMin
+	cfg.MmapSegments = *mmapSegments
 	if *warmDir != "" {
 		if cfg.SnapshotDir == "" {
 			cfg.SnapshotDir = *warmDir

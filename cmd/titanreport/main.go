@@ -25,16 +25,21 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"titanre/internal/core"
 	"titanre/internal/dataset"
 	"titanre/internal/ingest"
 	"titanre/internal/sim"
+	"titanre/internal/store"
+	"titanre/internal/xid"
 )
 
 func main() {
@@ -49,6 +54,9 @@ func main() {
 	quarantine := flag.String("quarantine", "", "write the quarantine (dead-letter) log to this file")
 	workers := flag.Int("report-workers", runtime.GOMAXPROCS(0), "goroutines rendering report sections (output is identical at any value)")
 	loadWorkers := flag.Int("load-workers", runtime.GOMAXPROCS(0), "goroutines loading dataset artifacts and parsing console shards (result is identical at any value)")
+	rollup := flag.String("rollup", "", "print a time-bucketed rollup JSON instead of the report: comma list of code, cabinet, cage, node (empty list = pure time series; same kernel as titand's GET /rollup)")
+	rollupBucket := flag.Duration("rollup-bucket", time.Hour, "rollup bucket width (with -rollup)")
+	rollupCode := flag.String("rollup-code", "", "restrict -rollup to one code (an XID number, sbe or otb)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -122,6 +130,14 @@ func main() {
 		}
 	}
 
+	if *rollup != "" || *rollupCode != "" {
+		if err := printRollup(study, *rollup, *rollupBucket, *rollupCode); err != nil {
+			fmt.Fprintln(os.Stderr, "titanreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *export != "" {
 		if err := study.ExportFigures(*export); err != nil {
 			fmt.Fprintln(os.Stderr, "titanreport:", err)
@@ -146,6 +162,60 @@ func main() {
 		return
 	}
 	study.WriteReportConcurrent(w, *workers)
+}
+
+// printRollup renders the batch-pipeline rollup as indented JSON — the
+// same document (and bytes) titand's GET /rollup serves for the same
+// stream and spec.
+func printRollup(study *core.Study, by string, bucket time.Duration, codeArg string) error {
+	spec := store.RollupSpec{Bucket: bucket}
+	for _, dim := range strings.Split(by, ",") {
+		switch strings.TrimSpace(dim) {
+		case "":
+		case "code":
+			spec.ByCode = true
+		case "cabinet":
+			spec.ByCabinet = true
+		case "cage":
+			spec.ByCage = true
+		case "node":
+			spec.ByNode = true
+		default:
+			return fmt.Errorf("bad -rollup dimension %q: want code, cabinet, cage or node", dim)
+		}
+	}
+	if codeArg != "" {
+		code, err := parseCode(codeArg)
+		if err != nil {
+			return err
+		}
+		spec.FilterCode = true
+		spec.Code = code
+	}
+	doc, err := study.Rollup(spec)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parseCode accepts an XID number or the sbe/otb abbreviations.
+func parseCode(s string) (xid.Code, error) {
+	switch strings.ToLower(s) {
+	case "sbe":
+		return xid.SingleBitError, nil
+	case "otb":
+		return xid.OffTheBus, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad code %q: want an XID number, sbe or otb", s)
+	}
+	return xid.Code(n), nil
 }
 
 func writeQuarantine(path string, health *ingest.Health) error {

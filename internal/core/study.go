@@ -265,6 +265,21 @@ func (s *Study) Fig21Workload() analysis.WorkloadCharacteristics {
 	return analysis.CharacterizeWorkload(s.Result.Jobs)
 }
 
+// Rollup computes a time-bucketed fleet-wide aggregate over the study's
+// console events — the batch-pipeline reference the live /rollup
+// endpoint must byte-match. When the study is store-backed the events
+// already came out of sealed segments in arrival order, so the two
+// sides fold the identical stream through the identical kernel.
+func (s *Study) Rollup(spec store.RollupSpec) (store.RollupDoc, error) {
+	return store.RollupEvents(s.Result.Events, spec)
+}
+
+// TopOffenderCards computes the batch-side top-K offender ranking the
+// live /top endpoint must match.
+func (s *Study) TopOffenderCards(spec store.TopSpec) (store.TopDoc, error) {
+	return store.TopEvents(s.Result.Events, spec)
+}
+
 // Alerts replays the console log through the operator alerting engine
 // with the given configuration (alert.DefaultConfig mirrors the paper's
 // practices) and returns everything it raises.

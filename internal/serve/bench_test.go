@@ -134,6 +134,9 @@ func TestIngestBenchHarness(t *testing.T) {
 		if err != nil {
 			t.Fatalf("journal run (%s): %v (%v)", fsync, err, jStats)
 		}
+		// Journal appends happen in the applier; drain it before reading
+		// the counter, or a slow fsync=always run undercounts.
+		quiesce(t, jSrv)
 		js := jSrv.StatsNow().Journal
 		shutdownBench(t, jSrv)
 		if js == nil || js.Appends != jStats.LinesAccepted {

@@ -34,10 +34,13 @@ import (
 // Locking: the seal prefix is carved under stateMu, but the slow part
 // — column building and the disk write — runs without it. That is
 // safe because the applier only ever appends at the tail: the prefix
-// elements cannot move while the seal is in flight. Afterwards the
-// tail is copied into a fresh backing array so the sealed events'
-// memory is actually released. compactMu serializes compactions
-// against each other and against snapshots.
+// elements cannot move while the seal is in flight. Each chunk's
+// publication is atomic under viewMu (segment registered and the same
+// events trimmed from the retained tail in one critical section), so
+// history queries taken at any instant see every event exactly once.
+// Afterwards the tail is copied into a fresh backing array so the
+// sealed events' memory is actually released. compactMu serializes
+// compactions against each other and against snapshots.
 
 // compactChunk caps the events per sealed segment, keeping individual
 // segments (and the min/max pruning they enable) reasonably granular.
@@ -50,21 +53,24 @@ const sealAttempts = 3
 
 var fpCompactChunk = failpoint.Register("serve.compact.chunk")
 
-// sealChunk seals one chunk with jittered-exponential-backoff retries.
-// A fault that clears within sealAttempts costs only the backoff; a
-// persistent one surfaces after the last attempt and the events stay
-// retained for the next compaction tick.
-func (s *Server) sealChunk(st *store.Store, chunk []console.Event) error {
+// prepareChunk builds and durably commits one chunk's segment with
+// jittered-exponential-backoff retries, without publishing it. A fault
+// that clears within sealAttempts costs only the backoff; a persistent
+// one surfaces after the last attempt and the events stay retained for
+// the next compaction tick. Prepare is atomic on disk (temp + rename),
+// so a failed attempt leaves nothing a retry could duplicate.
+func (s *Server) prepareChunk(st *store.Store, chunk []console.Event) (*store.Prepared, error) {
 	backoff := 25 * time.Millisecond
 	var err error
 	for attempt := 0; ; attempt++ {
 		if err = fpCompactChunk.Eval(); err == nil {
-			if _, err = st.Seal(chunk); err == nil {
-				return nil
+			var p *store.Prepared
+			if p, err = st.Prepare(chunk); err == nil {
+				return p, nil
 			}
 		}
 		if attempt+1 >= sealAttempts {
-			return err
+			return nil, err
 		}
 		s.metrics.compactRetries.Add(1)
 		time.Sleep(jitterDur(backoff))
@@ -84,7 +90,7 @@ func (s *Server) sealedStore() (*store.Store, error) {
 	if s.cfg.CompactDir == "" {
 		return nil, nil
 	}
-	st, err := store.Open(s.cfg.CompactDir)
+	st, _, err := store.OpenDir(s.cfg.CompactDir, store.OpenOptions{Mapped: s.cfg.MmapSegments})
 	if err != nil {
 		return nil, fmt.Errorf("serve: compaction: %w", err)
 	}
@@ -142,18 +148,32 @@ func (s *Server) compact(age time.Duration, minEvents int) (int, error) {
 	var sealErr error
 	for lo := 0; lo < n; lo += compactChunk {
 		hi := min(lo+compactChunk, n)
-		if err := s.sealChunk(st, prefix[lo:hi]); err != nil {
+		// The slow half — column build, write, fsync, rename — runs with
+		// no reader-facing lock held. Publication is then a pure
+		// in-memory flip under viewMu: the chunk becomes visible in the
+		// sealed store and leaves the retained tail in one atomic step,
+		// so a concurrent historyView never sees those events twice or
+		// not at all.
+		p, err := s.prepareChunk(st, prefix[lo:hi])
+		if err != nil {
 			sealErr = err
 			break
 		}
+		s.viewMu.Lock()
+		st.Publish(p)
+		s.stateMu.Lock()
+		s.events = s.events[hi-lo:] // O(1): drop the chunk just published
+		s.stateMu.Unlock()
+		s.viewMu.Unlock()
 		sealed = hi
 	}
 	if sealed > 0 {
-		// Only what actually reached disk leaves memory; the tail gets a
-		// fresh backing array so the sealed prefix becomes collectable.
+		// The per-chunk trims re-sliced the retained log in place; copy
+		// the survivor into a fresh backing array so the sealed prefix's
+		// memory is actually collectable.
 		s.stateMu.Lock()
-		rest := make([]console.Event, len(s.events)-sealed)
-		copy(rest, s.events[sealed:])
+		rest := make([]console.Event, len(s.events))
+		copy(rest, s.events)
 		s.events = rest
 		s.stateMu.Unlock()
 		s.metrics.eventsSealed.Add(uint64(sealed))

@@ -50,6 +50,11 @@ type metrics struct {
 	compactRetries  atomic.Uint64 // chunk seals retried after a transient fault
 	eventsSealed    atomic.Uint64 // events moved from memory into segments
 
+	// Fleet-wide query endpoints (see query.go).
+	queryCodeHistory atomic.Uint64 // GET /codes/{xid}/history served
+	queryRollup      atomic.Uint64 // GET /rollup served
+	queryTop         atomic.Uint64 // GET /top served
+
 	// Ingest latency histogram (request admission to 202, seconds).
 	latCount atomic.Uint64
 	latSum   atomic.Uint64 // microseconds, to stay integral
@@ -129,6 +134,9 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 	counter("titand_compaction_failures_total", "Compaction passes that failed to seal (events stay retained).", m.compactFailures.Load())
 	counter("titand_compaction_retries_total", "Chunk seals retried after a transient I/O fault (jittered exponential backoff).", m.compactRetries.Load())
 	counter("titand_events_sealed_total", "Events moved from the retained log into on-disk columnar segments.", m.eventsSealed.Load())
+	counter("titand_query_code_history_total", "Fleet-wide code history queries served (GET /codes/{xid}/history).", m.queryCodeHistory.Load())
+	counter("titand_query_rollup_total", "Time-bucketed rollup queries served (GET /rollup).", m.queryRollup.Load())
+	counter("titand_query_top_total", "Top-offender queries served (GET /top).", m.queryTop.Load())
 	if g.journal != nil {
 		counter("titand_journal_appends_total", "Events framed into the write-ahead journal.", g.journal.Appends)
 		counter("titand_journal_append_failures_total", "Events applied but not journaled because the journal was wedged by an I/O failure.", g.journal.AppendFailures)

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/store"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// The fleet-wide query endpoints — the paper's aggregate artifacts
+// (events/hour by code, per-cabinet heatmaps, top-offender lists)
+// served live off the columnar store:
+//
+//	GET /codes/{xid}/history?since=&until=&limit=
+//	GET /rollup?by=code,cabinet&bucket=1h&code=&since=&until=
+//	GET /top?k=20&by=node|serial|code&code=&since=&until=
+//
+// All three read one consistent (sealed segments, retained tail)
+// snapshot via historyView, stream segment columns without
+// materializing events (rollup/top), and fold the retained tail through
+// the identical kernel — so their answers byte-match the batch core
+// pipeline computing the same aggregate over the same stream.
+
+// parseCode accepts "13", "-1", or the conventional abbreviations
+// "sbe" / "otb" (case-insensitive).
+func parseCode(s string) (xid.Code, error) {
+	switch strings.ToLower(s) {
+	case "sbe":
+		return xid.SingleBitError, nil
+	case "otb":
+		return xid.OffTheBus, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad code %q: want an XID number, sbe or otb", s)
+	}
+	return xid.Code(n), nil
+}
+
+// CodeHistoryEvent is one event in a fleet-wide code history.
+type CodeHistoryEvent struct {
+	Time   time.Time `json:"time"`
+	Node   string    `json:"node"`
+	Serial string    `json:"serial,omitempty"`
+	Page   int32     `json:"page"`
+	Job    int64     `json:"job,omitempty"`
+}
+
+// CodeHistory is the GET /codes/{xid}/history document.
+type CodeHistory struct {
+	Code      string             `json:"code"`
+	Sealed    int                `json:"sealed_events"`
+	Retained  int                `json:"retained_events"`
+	Truncated bool               `json:"truncated,omitempty"`
+	Events    []CodeHistoryEvent `json:"events"`
+}
+
+// handleCodeHistory serves every event carrying one code, fleet-wide:
+// sealed segments are pruned by their min/max time and walked through
+// the code's per-segment bitmap (only marked positions are touched),
+// then the retained tail is appended from the same consistent snapshot.
+// Arrival order is preserved — tail strictly follows sealed history.
+// Optional ?since=/?until= bound the range; ?limit=N caps the response
+// (truncated flag set when it bites).
+func (s *Server) handleCodeHistory(w http.ResponseWriter, r *http.Request) {
+	code, err := parseCode(r.PathValue("xid"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	since, until, ok := parseTimeRange(w, r)
+	if !ok {
+		return
+	}
+	limit := -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	s.metrics.queryCodeHistory.Add(1)
+
+	segs, tail := s.historyView()
+	hist := CodeHistory{Code: code.String()}
+	var events []console.Event
+	for _, seg := range segs {
+		if !seg.Overlaps(since, until) {
+			continue
+		}
+		events = seg.ScanCodeRange(code, since, until, events)
+	}
+	hist.Sealed = len(events)
+	for _, ev := range tail {
+		if ev.Code == code && inRange(ev.Time, since, until) {
+			events = append(events, ev)
+		}
+	}
+	hist.Retained = len(events) - hist.Sealed
+	if limit >= 0 && len(events) > limit {
+		events = events[:limit]
+		hist.Truncated = true
+	}
+	hist.Events = make([]CodeHistoryEvent, 0, len(events))
+	for _, ev := range events {
+		he := CodeHistoryEvent{
+			Time: ev.Time,
+			Node: topology.CNameOf(ev.Node),
+			Page: ev.Page,
+			Job:  int64(ev.Job),
+		}
+		if ev.Serial != 0 {
+			he.Serial = ev.Serial.String()
+		}
+		hist.Events = append(hist.Events, he)
+	}
+	writeJSON(w, hist)
+}
+
+// handleRollup serves time-bucketed fleet-wide counts — the paper's
+// Fig 3 (events/hour by code) and Fig 12 (per-cabinet density) as live
+// JSON. ?by= is a comma list of code, cabinet, cage, node (empty = a
+// pure time series); ?bucket= is a Go duration ≥ 1s (default 1h);
+// ?code= filters to one code (bitmap fast path); ?since=/?until= bound
+// the range. Cells are sorted canonically, so the body is byte-stable
+// for a given history.
+func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request) {
+	spec := store.RollupSpec{Bucket: time.Hour}
+	if v := r.URL.Query().Get("by"); v != "" {
+		for _, dim := range strings.Split(v, ",") {
+			switch strings.TrimSpace(dim) {
+			case "code":
+				spec.ByCode = true
+			case "cabinet":
+				spec.ByCabinet = true
+			case "cage":
+				spec.ByCage = true
+			case "node":
+				spec.ByNode = true
+			default:
+				http.Error(w, fmt.Sprintf("bad by dimension %q: want code, cabinet, cage or node", dim), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if v := r.URL.Query().Get("bucket"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad bucket %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		spec.Bucket = d
+	}
+	if v := r.URL.Query().Get("code"); v != "" {
+		code, err := parseCode(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec.FilterCode = true
+		spec.Code = code
+	}
+	var ok bool
+	if spec.Since, spec.Until, ok = parseTimeRange(w, r); !ok {
+		return
+	}
+
+	segs, tail := s.historyView()
+	doc, err := store.RollupSegments(segs, tail, spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.queryRollup.Add(1)
+	writeJSON(w, doc)
+}
+
+// handleTop serves offender cards ranked by event count — the paper's
+// "a handful of cards produce almost all the SBEs" lists, counted
+// straight off per-code bitmaps. ?by= is node (default), serial or
+// code; ?k= caps the ranking (default 20, 0 = all); ?code= restricts
+// the count to one code; ?since=/?until= bound the range.
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	spec := store.TopSpec{By: store.TopByNode, K: 20}
+	if v := r.URL.Query().Get("by"); v != "" {
+		spec.By = store.TopBy(v)
+	}
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			http.Error(w, fmt.Sprintf("bad k %q", v), http.StatusBadRequest)
+			return
+		}
+		spec.K = k
+	}
+	if v := r.URL.Query().Get("code"); v != "" {
+		code, err := parseCode(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec.FilterCode = true
+		spec.Code = code
+	}
+	var ok bool
+	if spec.Since, spec.Until, ok = parseTimeRange(w, r); !ok {
+		return
+	}
+
+	segs, tail := s.historyView()
+	doc, err := store.TopSegments(segs, tail, spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.queryTop.Add(1)
+	writeJSON(w, doc)
+}

@@ -1,0 +1,461 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/store"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// renderJSON renders v exactly as the handlers do (writeJSON), so
+// references can be compared to HTTP bodies byte for byte.
+func renderJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	writeJSON(rec, v)
+	return rec.Body.Bytes()
+}
+
+// queryServer streams a log into a compaction-enabled server and
+// returns it with its test base URL plus the batch-parsed reference
+// stream (arrival order — NOT sorted).
+func queryServer(t *testing.T, log []byte) (*Server, string, []console.Event) {
+	t.Helper()
+	want, err := console.NewCorrelator().ParseAll(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CompactDir = filepath.Join(t.TempDir(), "segments")
+	cfg.CompactInterval = time.Hour // idle; tests compact explicitly
+	cfg.CompactMin = 1
+	s := testServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	streamAll(t, s, ts.URL, log)
+	return s, ts.URL, want
+}
+
+// TestRollupMatchesBatch is the tentpole equivalence: GET /rollup over
+// a streamed, partially compacted month answers byte-identically to the
+// batch event kernel over the same stream — the paper's Fig 3
+// (events/hour by code) and per-cabinet density as live JSON.
+func TestRollupMatchesBatch(t *testing.T) {
+	events := simEvents()
+	log := encodeLog(t, events)
+	s, base, want := queryServer(t, log)
+	if _, err := s.compact(48*time.Hour, 1); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if st := s.StatsNow(); st.SealedEvents == 0 || st.RetainedEvents == 0 {
+		t.Fatalf("want a sealed+retained split, got sealed=%d retained=%d", st.SealedEvents, st.RetainedEvents)
+	}
+
+	cases := []struct {
+		query string
+		spec  store.RollupSpec
+	}{
+		{"by=code,cabinet&bucket=1h", store.RollupSpec{ByCode: true, ByCabinet: true, Bucket: time.Hour}},
+		{"by=code&bucket=1h", store.RollupSpec{ByCode: true, Bucket: time.Hour}},
+		{"bucket=24h", store.RollupSpec{Bucket: 24 * time.Hour}},
+		{"by=cabinet,cage&bucket=24h&code=48", store.RollupSpec{ByCabinet: true, ByCage: true, Bucket: 24 * time.Hour, FilterCode: true, Code: xid.DoubleBitError}},
+		{"by=node&bucket=24h&code=13", store.RollupSpec{ByNode: true, Bucket: 24 * time.Hour, FilterCode: true, Code: 13}},
+	}
+	for _, tc := range cases {
+		ref, err := store.RollupEvents(want, tc.spec)
+		if err != nil {
+			t.Fatalf("%s: batch kernel: %v", tc.query, err)
+		}
+		body := getBody(t, base+"/rollup?"+tc.query)
+		if !bytes.Equal(body, renderJSON(t, ref)) {
+			t.Fatalf("GET /rollup?%s diverges from the batch rollup over the same stream", tc.query)
+		}
+	}
+
+	// Cross-check one document against straight counting: hourly DBE
+	// cells must sum to the stream's DBE count.
+	var doc store.RollupDoc
+	getJSON(t, base+"/rollup?bucket=1h&code=48", &doc)
+	var dbe int64
+	for _, ev := range want {
+		if ev.Code == xid.DoubleBitError {
+			dbe++
+		}
+	}
+	var cells int64
+	for _, c := range doc.Cells {
+		cells += c.Count
+	}
+	if cells != dbe || doc.TotalEvents != dbe {
+		t.Fatalf("DBE rollup sums to %d cells / %d total, stream has %d DBEs", cells, doc.TotalEvents, dbe)
+	}
+
+	if got := getStatus(t, base+"/rollup?bucket=10ms"); got != http.StatusBadRequest {
+		t.Fatalf("sub-second bucket: got %d, want 400", got)
+	}
+	if got := getStatus(t, base+"/rollup?by=rack"); got != http.StatusBadRequest {
+		t.Fatalf("bad dimension: got %d, want 400", got)
+	}
+	if st := s.StatsNow(); st.QueryRollup == 0 {
+		t.Fatal("stats: query_rollup counter never moved")
+	}
+}
+
+// TestCodeHistoryFleetWide: GET /codes/{xid}/history returns every
+// event carrying the code, fleet-wide, in arrival order, with the
+// sealed/retained split accounted exactly — sealed events are the
+// filtered prefix of what compaction sealed.
+func TestCodeHistoryFleetWide(t *testing.T) {
+	events := simEvents()
+	log := encodeLog(t, events)
+	s, base, want := queryServer(t, log)
+	sealed, err := s.compact(48*time.Hour, 1)
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if sealed == 0 {
+		t.Fatal("compaction sealed nothing")
+	}
+
+	for _, code := range []console.EventCode{xid.DoubleBitError, 13, 31, xid.OffTheBus} {
+		var ref []console.Event
+		sealedRef := 0
+		for i, ev := range want {
+			if ev.Code != code {
+				continue
+			}
+			ref = append(ref, ev)
+			if i < sealed {
+				sealedRef++
+			}
+		}
+		exp := CodeHistory{Code: code.String(), Sealed: sealedRef, Retained: len(ref) - sealedRef, Events: make([]CodeHistoryEvent, 0, len(ref))}
+		for _, ev := range ref {
+			he := CodeHistoryEvent{Time: ev.Time, Node: topology.CNameOf(ev.Node), Page: ev.Page, Job: int64(ev.Job)}
+			if ev.Serial != 0 {
+				he.Serial = ev.Serial.String()
+			}
+			exp.Events = append(exp.Events, he)
+		}
+		body := getBody(t, fmt.Sprintf("%s/codes/%d/history", base, int(code)))
+		if !bytes.Equal(body, renderJSON(t, exp)) {
+			t.Fatalf("GET /codes/%d/history diverges from the filtered stream (%d sealed + %d retained events)", int(code), sealedRef, len(ref)-sealedRef)
+		}
+
+		// Bounded: inclusive since/until window.
+		lo, hi := ref[len(ref)/4].Time, ref[3*len(ref)/4].Time
+		var hist CodeHistory
+		getJSON(t, fmt.Sprintf("%s/codes/%d/history?since=%s&until=%s", base, int(code),
+			lo.UTC().Format(time.RFC3339), hi.UTC().Format(time.RFC3339)), &hist)
+		nbound := 0
+		for _, ev := range ref {
+			if !ev.Time.Before(lo) && !ev.Time.After(hi) {
+				nbound++
+			}
+		}
+		if len(hist.Events) != nbound || hist.Sealed+hist.Retained != nbound {
+			t.Fatalf("code %d bounded history: %d events (sealed %d + retained %d), want %d", int(code), len(hist.Events), hist.Sealed, hist.Retained, nbound)
+		}
+	}
+
+	// The sbe/otb spellings hit the same handler.
+	if !bytes.Equal(getBody(t, base+"/codes/otb/history"), getBody(t, fmt.Sprintf("%s/codes/%d/history", base, int(xid.OffTheBus)))) {
+		t.Fatal("/codes/otb/history diverges from the numeric spelling")
+	}
+	var trunc CodeHistory
+	getJSON(t, base+"/codes/13/history?limit=10", &trunc)
+	if !trunc.Truncated || len(trunc.Events) != 10 {
+		t.Fatalf("limit=10: truncated=%v events=%d", trunc.Truncated, len(trunc.Events))
+	}
+	if got := getStatus(t, base+"/codes/zzz/history"); got != http.StatusBadRequest {
+		t.Fatalf("bad code: got %d, want 400", got)
+	}
+	if st := s.StatsNow(); st.QueryCodeHistory == 0 {
+		t.Fatal("stats: query_code_history counter never moved")
+	}
+}
+
+// TestTopOffenders: GET /top ranks offenders byte-identically to the
+// batch event kernel, for every dimension.
+func TestTopOffenders(t *testing.T) {
+	events := simEvents()
+	log := encodeLog(t, events)
+	s, base, want := queryServer(t, log)
+	if _, err := s.compact(48*time.Hour, 1); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+
+	cases := []struct {
+		query string
+		spec  store.TopSpec
+	}{
+		{"", store.TopSpec{By: store.TopByNode, K: 20}},
+		{"?k=5", store.TopSpec{By: store.TopByNode, K: 5}},
+		{"?by=serial&k=10&code=13", store.TopSpec{By: store.TopBySerial, K: 10, FilterCode: true, Code: 13}},
+		{"?by=code&k=0", store.TopSpec{By: store.TopByCode, K: 0}},
+	}
+	for _, tc := range cases {
+		ref, err := store.TopEvents(want, tc.spec)
+		if err != nil {
+			t.Fatalf("%q: batch kernel: %v", tc.query, err)
+		}
+		body := getBody(t, base+"/top"+tc.query)
+		if !bytes.Equal(body, renderJSON(t, ref)) {
+			t.Fatalf("GET /top%s diverges from the batch ranking", tc.query)
+		}
+	}
+	var doc store.TopDoc
+	getJSON(t, base+"/top?by=code&k=0", &doc)
+	var total int64
+	for _, card := range doc.Cards {
+		total += card.Count
+	}
+	if total != int64(len(want)) {
+		t.Fatalf("code cards cover %d events, stream has %d", total, len(want))
+	}
+	if got := getStatus(t, base+"/top?by=cabinet"); got != http.StatusBadRequest {
+		t.Fatalf("bad dimension: got %d, want 400", got)
+	}
+	if got := getStatus(t, base+"/top?k=-1"); got != http.StatusBadRequest {
+		t.Fatalf("negative k: got %d, want 400", got)
+	}
+	if st := s.StatsNow(); st.QueryTop == 0 {
+		t.Fatal("stats: query_top counter never moved")
+	}
+}
+
+// TestHistoryArrivalOrder pins the same-second ordering bugfix: two
+// events on one node in the same second, arriving with the higher code
+// first, must come back from /nodes/{cname}/history in arrival order —
+// a sort on second-resolution timestamps would flip them.
+func TestHistoryArrivalOrder(t *testing.T) {
+	// Craft the pair from two real simulated events on one node, forced
+	// into the same second with the higher code first.
+	var pair []console.Event
+	firstOf := map[topology.NodeID]console.Event{}
+	for _, ev := range simEvents() {
+		prev, seen := firstOf[ev.Node]
+		if !seen {
+			firstOf[ev.Node] = ev
+			continue
+		}
+		if prev.Code != ev.Code {
+			hi, lo := prev, ev
+			if hi.Code < lo.Code {
+				hi, lo = lo, hi
+			}
+			lo.Time = hi.Time
+			pair = []console.Event{hi, lo}
+			break
+		}
+	}
+	if pair == nil {
+		t.Fatal("no node with two distinct codes in the simulated month")
+	}
+	log := encodeLog(t, pair)
+
+	// The crafted log must round-trip in arrival order, and a sort must
+	// actually flip it — otherwise the test proves nothing.
+	parsed, err := console.NewCorrelator().ParseAll(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || parsed[0].Code != pair[0].Code || parsed[1].Code != pair[1].Code {
+		t.Fatalf("crafted log did not round-trip: %v", parsed)
+	}
+	sorted := append([]console.Event(nil), parsed...)
+	console.SortEvents(sorted)
+	if sorted[0].Code == parsed[0].Code {
+		t.Fatal("crafted pair is not order-sensitive; sort would not flip it")
+	}
+
+	s, base, _ := queryServer(t, log)
+	var hist NodeHistory
+	getJSON(t, base+"/nodes/"+topology.CNameOf(pair[0].Node)+"/history", &hist)
+	if len(hist.Events) != 2 {
+		t.Fatalf("history has %d events, want 2", len(hist.Events))
+	}
+	if hist.Events[0].Code != pair[0].Code.String() || hist.Events[1].Code != pair[1].Code.String() {
+		t.Fatalf("history reordered same-second events: got [%s %s], want [%s %s]",
+			hist.Events[0].Code, hist.Events[1].Code, pair[0].Code, pair[1].Code)
+	}
+	var ch CodeHistory
+	getJSON(t, fmt.Sprintf("%s/codes/%d/history", base, int(pair[0].Code)), &ch)
+	if len(ch.Events) != 1 || ch.Events[0].Node != topology.CNameOf(pair[0].Node) {
+		t.Fatalf("code history for the crafted pair: %+v", ch)
+	}
+	_ = s
+}
+
+// TestQueryConsistencyUnderCompaction hammers /nodes/{cname}/history,
+// /codes/{xid}/history and /rollup while compaction repeatedly seals
+// chunks of the tail, asserting every single response equals the
+// uninterrupted-stream reference — the consistent-snapshot contract
+// (satellite #3; run under -race).
+func TestQueryConsistencyUnderCompaction(t *testing.T) {
+	events := simEvents()[:30000]
+	log := encodeLog(t, events)
+	s, base, want := queryServer(t, log)
+
+	// The busiest node's history, rendered once, in arrival order.
+	counts := map[topology.NodeID]int{}
+	for _, ev := range want {
+		counts[ev.Node]++
+	}
+	var busiest topology.NodeID
+	for n, c := range counts {
+		if c > counts[busiest] || (c == counts[busiest] && n < busiest) {
+			busiest = n
+		}
+	}
+	var nodeRef []HistoryEvent
+	for _, ev := range want {
+		if ev.Node != busiest {
+			continue
+		}
+		he := HistoryEvent{Time: ev.Time, Code: ev.Code.String(), Page: ev.Page, Job: int64(ev.Job)}
+		if ev.Serial != 0 {
+			he.Serial = ev.Serial.String()
+		}
+		nodeRef = append(nodeRef, he)
+	}
+	nodeRefJSON, err := json.Marshal(nodeRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeURL := base + "/nodes/" + topology.CNameOf(busiest) + "/history"
+
+	spec := store.RollupSpec{ByCode: true, ByCabinet: true, Bucket: time.Hour}
+	rollupDoc, err := store.RollupEvents(want, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollupRef := renderJSON(t, rollupDoc)
+	rollupURL := base + "/rollup?by=code,cabinet&bucket=1h"
+
+	var sbeRef int
+	for _, ev := range want {
+		if ev.Code == 13 {
+			sbeRef++
+		}
+	}
+	codeURL := base + "/codes/13/history"
+
+	// Compactor: seal progressively younger prefixes until everything
+	// but the newest second is on disk.
+	span := want[len(want)-1].Time.Sub(want[0].Time)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 8; i >= 0; i-- {
+			age := span * time.Duration(i) / 9
+			if _, err := s.compact(age, 1); err != nil {
+				t.Errorf("compact(age=%v): %v", age, err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	fetch := func(url string) ([]byte, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return io.ReadAll(resp.Body)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-done:
+					if iter > 0 {
+						return
+					}
+					// Always run at least one full round, so the
+					// final all-sealed state is checked too.
+				default:
+				}
+
+				body, err := fetch(nodeURL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var hist NodeHistory
+				if err := json.Unmarshal(body, &hist); err != nil {
+					t.Error(err)
+					return
+				}
+				got, _ := json.Marshal(hist.Events)
+				if !bytes.Equal(got, nodeRefJSON) {
+					t.Errorf("node history diverged mid-compaction: %d events, want %d", len(hist.Events), len(nodeRef))
+					return
+				}
+				if hist.Sealed+hist.Retained != len(nodeRef) {
+					t.Errorf("node history split %d+%d != %d", hist.Sealed, hist.Retained, len(nodeRef))
+					return
+				}
+
+				body, err = fetch(rollupURL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(body, rollupRef) {
+					t.Error("rollup diverged mid-compaction")
+					return
+				}
+
+				body, err = fetch(codeURL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var ch CodeHistory
+				if err := json.Unmarshal(body, &ch); err != nil {
+					t.Error(err)
+					return
+				}
+				if len(ch.Events) != sbeRef || ch.Sealed+ch.Retained != sbeRef {
+					t.Errorf("code history %d events (split %d+%d), want %d", len(ch.Events), ch.Sealed, ch.Retained, sbeRef)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+
+	// After the dust settles almost everything is sealed, and the
+	// answers still match.
+	if st := s.StatsNow(); st.SealedEvents == 0 {
+		t.Fatal("compactor sealed nothing")
+	}
+	body, err := fetch(rollupURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, rollupRef) {
+		t.Fatal("rollup diverged after full compaction")
+	}
+}

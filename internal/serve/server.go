@@ -83,6 +83,12 @@ type Config struct {
 	// CompactMin is the minimum number of sealable events worth a
 	// segment (default 1024); smaller backlogs wait for the next tick.
 	CompactMin int
+	// MmapSegments backs sealed-segment reads with read-only file
+	// mappings (heap fallback on platforms without mmap): segment
+	// columns alias the page cache, so fleet-wide scans and rollups run
+	// at disk bandwidth with near-zero resident heap. DefaultConfig
+	// enables it; a zero-value Config keeps the heap path.
+	MmapSegments bool
 	// JournalDir, when non-empty, enables the arrival-order write-ahead
 	// journal: every applied event is appended (as its canonical console
 	// rendering) before it touches the online state, so a kill -9
@@ -112,6 +118,7 @@ func DefaultConfig() Config {
 		RateWindow:      24 * time.Hour,
 		Alerts:          alert.DefaultConfig(),
 		RetainEvents:    true,
+		MmapSegments:    true,
 	}
 }
 
@@ -133,6 +140,14 @@ type Server struct {
 	// measures CompactAge against it so historical replays age out the
 	// same way live streams do.
 	maxApplied time.Time
+
+	// viewMu makes the history visible to queries consistent across the
+	// sealed/retained boundary: compaction publishes a sealed chunk and
+	// trims the same events from the retained tail under the write lock,
+	// and historyView captures (segments, tail) under the read lock, so
+	// no reader ever sees an event in both places or in neither. Lock
+	// order: viewMu before stateMu; sealedMu is never held across either.
+	viewMu sync.RWMutex
 
 	// sealedMu guards the sealed segment store handle; the store itself
 	// is internally synchronized. lastCompact is the unix time of the
@@ -241,6 +256,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /nodes/{cname}", s.handleNode)
 	s.mux.HandleFunc("GET /nodes/{cname}/history", s.handleNodeHistory)
+	s.mux.HandleFunc("GET /codes/{xid}/history", s.handleCodeHistory)
+	s.mux.HandleFunc("GET /rollup", s.handleRollup)
+	s.mux.HandleFunc("GET /top", s.handleTop)
 	s.mux.HandleFunc("GET /alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /warnings", s.handleWarnings)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -459,11 +477,53 @@ type NodeHistory struct {
 	Events   []HistoryEvent `json:"events"`
 }
 
+// historyView captures a consistent (sealed segments, retained tail)
+// snapshot under viewMu: compaction publishes a chunk and trims the
+// tail under the same lock, so the pair never double-counts or drops an
+// event mid-compaction. Both halves are immutable after capture — the
+// segments are sealed and the tail is a capacity-clamped slice of an
+// append-only log — so the (possibly slow) scans run lock-free.
+func (s *Server) historyView() ([]*store.Segment, []console.Event) {
+	s.viewMu.RLock()
+	defer s.viewMu.RUnlock()
+	var segs []*store.Segment
+	if sealed := s.sealedPeek(); sealed != nil {
+		segs = sealed.Segments()
+	}
+	s.stateMu.Lock()
+	tail := s.events[:len(s.events):len(s.events)]
+	s.stateMu.Unlock()
+	return segs, tail
+}
+
+// parseTimeRange reads optional ?since= / ?until= RFC 3339 bounds,
+// reporting ok=false after writing the 400.
+func parseTimeRange(w http.ResponseWriter, r *http.Request) (since, until time.Time, ok bool) {
+	var err error
+	if v := r.URL.Query().Get("since"); v != "" {
+		if since, err = time.Parse(time.RFC3339, v); err != nil {
+			http.Error(w, fmt.Sprintf("bad since %q: %v", v, err), http.StatusBadRequest)
+			return since, until, false
+		}
+	}
+	if v := r.URL.Query().Get("until"); v != "" {
+		if until, err = time.Parse(time.RFC3339, v); err != nil {
+			http.Error(w, fmt.Sprintf("bad until %q: %v", v, err), http.StatusBadRequest)
+			return since, until, false
+		}
+	}
+	return since, until, true
+}
+
 // handleNodeHistory serves a node's full event history: sealed segments
 // are scanned through their per-segment min/max time bounds (segments
 // outside [since, until] are pruned without touching their columns),
-// then merged with whatever the retained tail still holds for the node.
-// Optional ?since= / ?until= take RFC 3339 timestamps.
+// then the retained tail is appended. The two halves come from one
+// consistent snapshot (historyView), and the response preserves arrival
+// order — the tail strictly follows the sealed history, never re-sorted,
+// because sorting second-resolution timestamps would diverge same-second
+// order from what warm restart and snapshots serve. Optional ?since= /
+// ?until= take RFC 3339 timestamps.
 func (s *Server) handleNodeHistory(w http.ResponseWriter, r *http.Request) {
 	cname := r.PathValue("cname")
 	node, err := topology.ParseNodeID(cname)
@@ -471,35 +531,25 @@ func (s *Server) handleNodeHistory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad cname %q: %v", cname, err), http.StatusBadRequest)
 		return
 	}
-	since := time.Time{}
-	until := time.Unix(1<<62, 0)
-	if v := r.URL.Query().Get("since"); v != "" {
-		if since, err = time.Parse(time.RFC3339, v); err != nil {
-			http.Error(w, fmt.Sprintf("bad since %q: %v", v, err), http.StatusBadRequest)
-			return
-		}
-	}
-	if v := r.URL.Query().Get("until"); v != "" {
-		if until, err = time.Parse(time.RFC3339, v); err != nil {
-			http.Error(w, fmt.Sprintf("bad until %q: %v", v, err), http.StatusBadRequest)
-			return
-		}
+	since, until, ok := parseTimeRange(w, r)
+	if !ok {
+		return
 	}
 
+	segs, tail := s.historyView()
 	var events []console.Event
-	sealedCount := 0
-	if sealed := s.sealedPeek(); sealed != nil {
-		events = sealed.ScanNode(node, since, until)
-		sealedCount = len(events)
+	for _, seg := range segs {
+		if !seg.Overlaps(since, until) {
+			continue
+		}
+		events = seg.ScanNode(node, since, until, events)
 	}
-	s.stateMu.Lock()
-	for _, ev := range s.events {
-		if ev.Node == node && !ev.Time.Before(since) && !ev.Time.After(until) {
+	sealedCount := len(events)
+	for _, ev := range tail {
+		if ev.Node == node && inRange(ev.Time, since, until) {
 			events = append(events, ev)
 		}
 	}
-	s.stateMu.Unlock()
-	console.SortEvents(events)
 
 	hist := NodeHistory{
 		Node:     topology.CNameOf(node),
@@ -620,6 +670,7 @@ type Stats struct {
 	SealedSegments     int    `json:"sealed_segments"`
 	SealedEvents       int    `json:"sealed_events"`
 	SealedSegmentBytes int64  `json:"sealed_segment_bytes"`
+	SealedMappedBytes  int64  `json:"sealed_mapped_bytes"`
 	Compactions        uint64 `json:"compactions"`
 	CompactionRetries  uint64 `json:"compaction_retries"`
 	EventsSealed       uint64 `json:"events_sealed"`
@@ -636,6 +687,11 @@ type Stats struct {
 	EventsLost          uint64 `json:"events_lost_to_quarantine"`
 	OrphansRemoved      int    `json:"orphans_removed"`
 	SealedSeq           uint64 `json:"sealed_seq"`
+
+	// Fleet-wide query endpoints.
+	QueryCodeHistory uint64 `json:"query_code_history"`
+	QueryRollup      uint64 `json:"query_rollup"`
+	QueryTop         uint64 `json:"query_top"`
 
 	// Journal is present when the write-ahead journal is active.
 	Journal *JournalStats `json:"journal,omitempty"`
@@ -680,7 +736,11 @@ func (s *Server) StatsNow() Stats {
 		st.SealedSegments = sealed.SegmentCount()
 		st.SealedEvents = sealed.EventCount()
 		st.SealedSegmentBytes = sealed.DiskBytes()
+		st.SealedMappedBytes = sealed.MappedBytes()
 	}
+	st.QueryCodeHistory = m.queryCodeHistory.Load()
+	st.QueryRollup = m.queryRollup.Load()
+	st.QueryTop = m.queryTop.Load()
 	st.Compactions = m.compactions.Load()
 	st.CompactionRetries = m.compactRetries.Load()
 	st.EventsSealed = m.eventsSealed.Load()
@@ -785,6 +845,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"history":        history,
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 	})
+}
+
+// inRange reports whether t falls inside [since, until], zero bounds
+// meaning unbounded — the same semantics the segment scans use.
+func inRange(t time.Time, since, until time.Time) bool {
+	if !since.IsZero() && t.Before(since) {
+		return false
+	}
+	if !until.IsZero() && t.After(until) {
+		return false
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -76,7 +76,7 @@ func (s *Server) WarmStart(dir string) (WarmStats, error) {
 	if s.cfg.JournalDir != "" && s.cfg.CompactDir == "" {
 		return ws, fmt.Errorf("serve: warm start: JournalDir requires CompactDir (compaction drives journal truncation)")
 	}
-	st, rec, err := store.OpenRecover(segDir)
+	st, rec, err := store.OpenDir(segDir, store.OpenOptions{Recover: true, Mapped: s.cfg.MmapSegments})
 	if err != nil {
 		return ws, fmt.Errorf("serve: warm start: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,18 +15,21 @@ import (
 	"titanre/internal/topology"
 )
 
-// On-disk segment layout, all little-endian:
+// On-disk segment layout, version 2, all little-endian:
 //
 //	magic    [8]byte  "TITANSEG"
-//	version  uint32   1
+//	version  uint32   2
 //	count    uint32   number of events n
 //	minT     int64    epoch seconds
 //	maxT     int64
 //	arenaLen uint32
+//	pad      [4]byte  zero — aligns the time column to 8 bytes
 //	times    [n]int64
 //	codes    [n]uint16
+//	pad      to a 4-byte boundary
 //	nodes    [n]uint32
 //	cards    [n]uint8
+//	pad      to a 4-byte boundary
 //	offs     [n+1]uint32
 //	arena    [arenaLen]byte
 //	dict     uvarint nnodes, then per node (ascending node id):
@@ -36,36 +40,74 @@ import (
 //
 // The trailing digest makes corruption detection exact: a read that
 // does not end on a matching digest fails with ErrCorrupt rather than
-// yielding silently wrong columns.
+// yielding silently wrong columns. The alignment pads exist for the
+// mmap read path (mmap.go): a page-aligned mapping puts every fixed-
+// width column on its natural boundary, so the in-memory column slices
+// can alias the mapped file directly instead of being copied to heap.
 
 var segMagic = [8]byte{'T', 'I', 'T', 'A', 'N', 'S', 'E', 'G'}
 
-const segVersion = 1
+const segVersion = 2
+
+// segHeaderLen is the fixed header before the alignment pad.
+const segHeaderLen = 8 + 4 + 4 + 8 + 8 + 4
 
 // ErrCorrupt reports a segment file whose digest or structure does not
 // validate.
 var ErrCorrupt = errors.New("store: corrupt segment file")
 
+// pad4 returns the bytes needed to advance p to a 4-byte boundary.
+func pad4(p int) int { return (4 - p&3) & 3 }
+
+// columnLayout gives the byte offsets of every fixed-width column for a
+// segment of n events with an arenaLen-byte annotation arena. tail is
+// where the varint dictionary section begins.
+type columnLayout struct {
+	times, codes, nodes, cards, offs, arena, tail int
+}
+
+func layoutFor(n, arenaLen int) columnLayout {
+	var l columnLayout
+	l.times = segHeaderLen + 4 // header + pad to 8
+	l.codes = l.times + n*8
+	l.nodes = l.codes + n*2
+	l.nodes += pad4(l.nodes)
+	l.cards = l.nodes + n*4
+	l.offs = l.cards + n
+	l.offs += pad4(l.offs)
+	l.arena = l.offs + (n+1)*4
+	l.tail = l.arena + arenaLen
+	return l
+}
+
 // Marshal renders the segment in the on-disk format, digest included.
 func (s *Segment) Marshal() []byte {
 	n := len(s.times)
-	buf := make([]byte, 0, 32+n*19+len(s.arena)+len(s.serials)*8+len(s.byCode)*(3+len(s.times)/8))
+	l := layoutFor(n, len(s.arena))
+	buf := make([]byte, 0, l.tail+len(s.serials)*8+len(s.byCode)*(3+len(s.times)/8)+sha256.Size)
 	buf = append(buf, segMagic[:]...)
 	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.minT))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.maxT))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.arena)))
+	buf = append(buf, 0, 0, 0, 0)
 	for _, v := range s.times {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
 	for _, v := range s.codes {
 		buf = binary.LittleEndian.AppendUint16(buf, v)
 	}
+	for len(buf) < l.nodes {
+		buf = append(buf, 0)
+	}
 	for _, v := range s.nodes {
 		buf = binary.LittleEndian.AppendUint32(buf, v)
 	}
 	buf = append(buf, s.cards...)
+	for len(buf) < l.offs {
+		buf = append(buf, 0)
+	}
 	for _, v := range s.offs {
 		buf = binary.LittleEndian.AppendUint32(buf, v)
 	}
@@ -99,11 +141,22 @@ func (s *Segment) Marshal() []byte {
 	return append(buf, digest[:]...)
 }
 
-// Unmarshal parses and validates an on-disk segment. Every structural
-// invariant is checked before the data is trusted: digest, magic,
-// version, monotonic arena offsets, node and card bounds.
+// Unmarshal parses and validates an on-disk segment into heap columns.
+// Every structural invariant is checked before the data is trusted:
+// digest, magic, version, monotonic arena offsets, node and card bounds.
 func Unmarshal(data []byte) (*Segment, error) {
-	if len(data) < 8+4+4+8+8+4+sha256.Size {
+	return parseSegment(data, false)
+}
+
+// parseSegment validates data and builds a Segment. With alias=false the
+// columns are copied to fresh heap slices and data may be discarded
+// afterwards. With alias=true the fixed-width columns alias data
+// directly — the caller guarantees data outlives the segment, is
+// naturally aligned (a page-aligned mapping is), and that the host is
+// little-endian (the on-disk byte order); only the varint dictionary
+// and the bitmaps land on the heap.
+func parseSegment(data []byte, alias bool) (*Segment, error) {
+	if len(data) < segHeaderLen+4+sha256.Size {
 		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
 	}
 	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
@@ -127,41 +180,47 @@ func Unmarshal(data []byte) (*Segment, error) {
 	maxT := int64(binary.LittleEndian.Uint64(body[p:]))
 	p += 8
 	arenaLen := int(binary.LittleEndian.Uint32(body[p:]))
-	p += 4
-	need := n*8 + n*2 + n*4 + n + (n+1)*4 + arenaLen
-	if n == 0 || len(body)-p < need {
+	if n == 0 || n > math.MaxUint32-1 || arenaLen < 0 {
+		return nil, fmt.Errorf("%w: implausible header (n=%d arena=%d)", ErrCorrupt, n, arenaLen)
+	}
+	l := layoutFor(n, arenaLen)
+	if len(body) < l.tail {
 		return nil, fmt.Errorf("%w: column area truncated", ErrCorrupt)
 	}
-	s := &Segment{
-		times: make([]int64, n),
-		codes: make([]uint16, n),
-		nodes: make([]uint32, n),
-		cards: make([]uint8, n),
-		offs:  make([]uint32, n+1),
-		arena: make([]byte, arenaLen),
-		minT:  minT,
-		maxT:  maxT,
-	}
-	for i := range s.times {
-		s.times[i] = int64(binary.LittleEndian.Uint64(body[p:]))
-		p += 8
-	}
-	for i := range s.codes {
-		s.codes[i] = binary.LittleEndian.Uint16(body[p:])
-		p += 2
-	}
-	for i := range s.nodes {
-		s.nodes[i] = binary.LittleEndian.Uint32(body[p:])
-		if int(s.nodes[i]) >= topology.TotalNodes {
-			return nil, fmt.Errorf("%w: node id %d out of range", ErrCorrupt, s.nodes[i])
+	s := &Segment{minT: minT, maxT: maxT}
+	if alias {
+		s.times = aliasInt64(body[l.times:], n)
+		s.codes = aliasUint16(body[l.codes:], n)
+		s.nodes = aliasUint32(body[l.nodes:], n)
+		s.cards = body[l.cards : l.cards+n : l.cards+n]
+		s.offs = aliasUint32(body[l.offs:], n+1)
+		s.arena = body[l.arena : l.arena+arenaLen : l.arena+arenaLen]
+	} else {
+		s.times = make([]int64, n)
+		for i := range s.times {
+			s.times[i] = int64(binary.LittleEndian.Uint64(body[l.times+i*8:]))
 		}
-		p += 4
+		s.codes = make([]uint16, n)
+		for i := range s.codes {
+			s.codes[i] = binary.LittleEndian.Uint16(body[l.codes+i*2:])
+		}
+		s.nodes = make([]uint32, n)
+		for i := range s.nodes {
+			s.nodes[i] = binary.LittleEndian.Uint32(body[l.nodes+i*4:])
+		}
+		s.cards = make([]uint8, n)
+		copy(s.cards, body[l.cards:])
+		s.offs = make([]uint32, n+1)
+		for i := range s.offs {
+			s.offs[i] = binary.LittleEndian.Uint32(body[l.offs+i*4:])
+		}
+		s.arena = make([]byte, arenaLen)
+		copy(s.arena, body[l.arena:])
 	}
-	copy(s.cards, body[p:p+n])
-	p += n
-	for i := range s.offs {
-		s.offs[i] = binary.LittleEndian.Uint32(body[p:])
-		p += 4
+	for _, node := range s.nodes {
+		if int(node) >= topology.TotalNodes {
+			return nil, fmt.Errorf("%w: node id %d out of range", ErrCorrupt, node)
+		}
 	}
 	if s.offs[0] != 0 || int(s.offs[n]) != arenaLen {
 		return nil, fmt.Errorf("%w: arena offsets do not span the arena", ErrCorrupt)
@@ -171,8 +230,7 @@ func Unmarshal(data []byte) (*Segment, error) {
 			return nil, fmt.Errorf("%w: arena offsets not monotonic", ErrCorrupt)
 		}
 	}
-	copy(s.arena, body[p:p+arenaLen])
-	p += arenaLen
+	p = l.tail
 
 	nnodes, m := binary.Uvarint(body[p:])
 	if m <= 0 {
@@ -208,33 +266,60 @@ func Unmarshal(data []byte) (*Segment, error) {
 		}
 	}
 
-	// The bitmap section is validated but rebuilt from the code column —
-	// cheaper than trusting serialized words, and len(body) consistency
-	// is already digest-checked. We still walk it to confirm structure.
+	// The bitmap section is decoded, not rebuilt — rebuilding from the
+	// code column costs a map assignment per event, while decoding is a
+	// word copy. The decode still proves the stored bitmaps exact: every
+	// set bit must land on a row carrying that code, codes must ascend
+	// strictly, and the marked positions must cover the segment — so a
+	// file whose bitmaps disagree with its code column is rejected even
+	// though its digest matches.
 	ncodes, m := binary.Uvarint(body[p:])
 	if m <= 0 {
 		return nil, fmt.Errorf("%w: bitmap section truncated", ErrCorrupt)
 	}
 	p += m
+	nwords := (n + 63) / 64
+	s.byCode = make([]codeBitmap, 0, ncodes)
+	marked := 0
+	prevCode := int64(math.MinInt64)
 	for i := uint64(0); i < ncodes; i++ {
-		_, m := binary.Varint(body[p:])
-		if m <= 0 {
+		code, m := binary.Varint(body[p:])
+		if m <= 0 || code <= prevCode || code < math.MinInt16 || code > math.MaxInt16 {
 			return nil, fmt.Errorf("%w: bitmap code invalid", ErrCorrupt)
 		}
+		prevCode = code
 		p += m
-		nwords, m := binary.Uvarint(body[p:])
-		if m <= 0 || int(nwords) != (n+63)/64 {
+		width, m := binary.Uvarint(body[p:])
+		if m <= 0 || int(width) != nwords {
 			return nil, fmt.Errorf("%w: bitmap width invalid", ErrCorrupt)
 		}
-		p += m + int(nwords)*8
-		if p > len(body) {
+		p += m
+		if p+nwords*8 > len(body) {
 			return nil, fmt.Errorf("%w: bitmap words truncated", ErrCorrupt)
 		}
+		words := make([]uint64, nwords)
+		for j := range words {
+			words[j] = binary.LittleEndian.Uint64(body[p+j*8:])
+		}
+		p += nwords * 8
+		for wi, w := range words {
+			for w != 0 {
+				idx := wi*64 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if idx >= n || int16(s.codes[idx]) != int16(code) {
+					return nil, fmt.Errorf("%w: bitmap for code %d marks a row of another code", ErrCorrupt, code)
+				}
+				marked++
+			}
+		}
+		s.byCode = append(s.byCode, codeBitmap{code: int16(code), bits: bitmap{words: words}})
+	}
+	if marked != n {
+		return nil, fmt.Errorf("%w: bitmaps mark %d of %d rows", ErrCorrupt, marked, n)
 	}
 	if p != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-p)
 	}
-	s.buildBitmaps()
 	return s, nil
 }
 
@@ -314,7 +399,8 @@ func syncDir(dir string) error {
 	return err
 }
 
-// ReadSegmentFile reads and validates one segment file.
+// ReadSegmentFile reads and validates one segment file into heap
+// columns.
 func ReadSegmentFile(path string) (*Segment, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFD(f *os.File, size int) ([]byte, func(), error) {
+	return nil, nil, errors.New("store: mmap unsupported on this platform")
+}

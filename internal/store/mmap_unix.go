@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFD maps size bytes of f read-only and shared — the kernel page
+// cache backs the pages, so mapping the same segment twice costs no
+// extra memory and evicted pages re-fault from disk.
+func mmapFD(f *os.File, size int) ([]byte, func(), error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	unmap := func() { _ = syscall.Munmap(data) }
+	return data, unmap, nil
+}

@@ -179,6 +179,28 @@ type Segment struct {
 
 	minT, maxT int64
 	byCode     []codeBitmap // sorted ascending by code
+
+	// For a segment whose columns alias a read-only mapping
+	// (MapSegmentFile): the unmap closer and the mapping size. Nil/zero
+	// for heap-backed segments.
+	unmap       func()
+	mappedBytes int64
+}
+
+// Mapped reports whether the segment's columns alias a file mapping.
+func (s *Segment) Mapped() bool { return s.unmap != nil }
+
+// MappedBytes reports the size of the backing mapping (0 if heap-backed).
+func (s *Segment) MappedBytes() int64 { return s.mappedBytes }
+
+// Close releases the file mapping, if any. The segment must not be
+// used afterwards: its columns alias the unmapped region. Heap-backed
+// segments ignore Close.
+func (s *Segment) Close() {
+	if s.unmap != nil {
+		s.unmap()
+		s.unmap = nil
+	}
 }
 
 // buildBitmaps computes the per-code position bitmaps.
@@ -309,6 +331,33 @@ func (s *Segment) ScanCode(code xid.Code, dst []console.Event) []console.Event {
 	return dst
 }
 
+// ScanCodeRange appends events carrying code within [since, until]
+// (inclusive, zero times meaning unbounded) to dst, walking only the
+// positions the code's bitmap marks.
+func (s *Segment) ScanCodeRange(code xid.Code, since, until time.Time, dst []console.Event) []console.Event {
+	cb := s.findCode(code)
+	if cb == nil {
+		return dst
+	}
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if !since.IsZero() {
+		lo = since.Unix()
+	}
+	if !until.IsZero() {
+		hi = until.Unix()
+	}
+	if lo > s.maxT || hi < s.minT {
+		return dst
+	}
+	cb.bits.forEach(func(i int) bool {
+		if t := s.times[i]; t >= lo && t <= hi {
+			dst = append(dst, s.EventAt(i))
+		}
+		return true
+	})
+	return dst
+}
+
 // ScanNode appends events on node within [since, until] (inclusive,
 // zero times meaning unbounded) to dst.
 func (s *Segment) ScanNode(node topology.NodeID, since, until time.Time, dst []console.Event) []console.Event {
@@ -347,11 +396,15 @@ func (s *Segment) Overlaps(since, until time.Time) bool {
 	return true
 }
 
-// MemBytes estimates the in-memory footprint of the segment's columns,
-// arena, dictionary and bitmaps.
+// MemBytes estimates the resident heap footprint of the segment. For a
+// mapped segment the columns and arena alias the page cache, not the
+// heap, so only the dictionary and bitmaps count.
 func (s *Segment) MemBytes() int64 {
-	n := int64(len(s.times))*8 + int64(len(s.codes))*2 + int64(len(s.nodes))*4 +
-		int64(len(s.cards)) + int64(len(s.offs))*4 + int64(len(s.arena))
+	var n int64
+	if s.unmap == nil {
+		n = int64(len(s.times))*8 + int64(len(s.codes))*2 + int64(len(s.nodes))*4 +
+			int64(len(s.cards)) + int64(len(s.offs))*4 + int64(len(s.arena))
+	}
 	for _, dict := range s.serials {
 		n += 8 + int64(len(dict))*4
 	}

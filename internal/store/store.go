@@ -27,6 +27,20 @@ type Store struct {
 	next      int // next segment file number
 	diskBytes int64
 	count     int
+	mapped    bool // open segments via mmap; seals re-map after commit
+}
+
+// OpenOptions selects how OpenDir brings a store up.
+type OpenOptions struct {
+	// Recover quarantines corrupt segments instead of aborting the open
+	// (the OpenRecover behaviour).
+	Recover bool
+	// Mapped backs sealed-segment reads with read-only file mappings
+	// where the platform supports it (heap fallback elsewhere): columns
+	// alias the page cache, so a large store scans at disk bandwidth
+	// with near-zero resident heap. Segments sealed through a mapped
+	// store are re-opened mapped after their atomic commit.
+	Mapped bool
 }
 
 // QuarantineDir is the subdirectory corrupt segment files are moved
@@ -54,7 +68,7 @@ type Recovery struct {
 // validation aborts the open; use OpenRecover to quarantine it and
 // start degraded instead.
 func Open(dir string) (*Store, error) {
-	st, _, err := open(dir, false)
+	st, _, err := OpenDir(dir, OpenOptions{})
 	return st, err
 }
 
@@ -66,11 +80,13 @@ func Open(dir string) (*Store, error) {
 // exact quarantine accounting the caller surfaces. I/O errors that are
 // not corruption (permissions, a vanished directory) still fail.
 func OpenRecover(dir string) (*Store, Recovery, error) {
-	return open(dir, true)
+	return OpenDir(dir, OpenOptions{Recover: true})
 }
 
-func open(dir string, recoverCorrupt bool) (*Store, Recovery, error) {
-	st := &Store{dir: dir}
+// OpenDir opens a segment store with explicit options; Open and
+// OpenRecover are shorthands for the heap-backed variants.
+func OpenDir(dir string, opts OpenOptions) (*Store, Recovery, error) {
+	st := &Store{dir: dir, mapped: opts.Mapped}
 	var rec Recovery
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -107,9 +123,9 @@ func open(dir string, recoverCorrupt bool) (*Store, Recovery, error) {
 		if _, err := fmt.Sscanf(name, "seg-%d.seg", &num); err == nil && num >= st.next {
 			st.next = num + 1
 		}
-		seg, err := ReadSegmentFile(path)
+		seg, err := st.readSegment(path)
 		if err != nil {
-			if recoverCorrupt && errors.Is(err, ErrCorrupt) {
+			if opts.Recover && errors.Is(err, ErrCorrupt) {
 				size, qerr := quarantine(dir, name)
 				if qerr != nil {
 					return nil, rec, fmt.Errorf("store: quarantining %s: %w", path, qerr)
@@ -153,12 +169,64 @@ func quarantine(dir, name string) (int64, error) {
 	return info.Size(), nil
 }
 
+// readSegment loads one segment file on the store's configured path —
+// mapped when the store is, heap otherwise.
+func (st *Store) readSegment(path string) (*Segment, error) {
+	if st.mapped {
+		return MapSegmentFile(path)
+	}
+	return ReadSegmentFile(path)
+}
+
 // Dir returns the store's directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Seal builds a segment from events (in the order given), writes it to
-// disk, and registers it. Returns the sealed segment.
-func (st *Store) Seal(events []console.Event) (*Segment, error) {
+// Close releases every file mapping the store holds. Segments must not
+// be used afterwards; heap-backed stores ignore Close.
+func (st *Store) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, seg := range st.segs {
+		seg.Close()
+	}
+}
+
+// MappedBytes reports the total size of live file mappings (0 when the
+// store reads on the heap path).
+func (st *Store) MappedBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var n int64
+	for _, seg := range st.segs {
+		n += seg.MappedBytes()
+	}
+	return n
+}
+
+// Prepared is a segment durably committed to disk but not yet visible
+// to readers; Publish registers it. The split lets a caller do the slow
+// half (build, write, fsync, rename) outside any reader-facing lock and
+// then make the segment visible in the same critical section that
+// retires the events it covers — readers never observe an event both
+// sealed and retained. A crash between Prepare and Publish leaves a
+// valid, loaded-but-unfloored segment file, the same window the sealed
+// floor arithmetic already reconciles at warm start.
+type Prepared struct {
+	seg  *Segment
+	size int64
+}
+
+// Segment returns the prepared segment (already readable, not yet
+// registered).
+func (p *Prepared) Segment() *Segment { return p.seg }
+
+// Prepare builds a segment from events (in the order given) and commits
+// it to disk atomically, without registering it. On error no visible
+// file exists (WriteFile's temp-rename discipline), so a retry cannot
+// duplicate events. On a mapped store the committed file is re-opened
+// mapped, so the registered segment aliases the page cache rather than
+// holding the build's heap columns.
+func (st *Store) Prepare(events []console.Event) (*Prepared, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("store: sealing empty segment")
 	}
@@ -172,30 +240,65 @@ func (st *Store) Seal(events []console.Event) (*Segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return seg, st.register(seg)
+	return st.PrepareSegment(seg)
 }
 
-// SealSegment writes an already-built segment to disk and registers it.
-func (st *Store) SealSegment(seg *Segment) error { return st.register(seg) }
-
-func (st *Store) register(seg *Segment) error {
+// PrepareSegment commits an already-built segment to disk without
+// registering it.
+func (st *Store) PrepareSegment(seg *Segment) (*Prepared, error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if err := os.MkdirAll(st.dir, 0o755); err != nil {
-		return fmt.Errorf("store: creating %s: %w", st.dir, err)
+		st.mu.Unlock()
+		return nil, fmt.Errorf("store: creating %s: %w", st.dir, err)
 	}
-	path := filepath.Join(st.dir, fmt.Sprintf("seg-%06d.seg", st.next))
+	num := st.next
+	st.next++ // a failed Prepare burns the number; numbering may gap
+	st.mu.Unlock()
+	path := filepath.Join(st.dir, fmt.Sprintf("seg-%06d.seg", num))
 	if err := seg.WriteFile(path); err != nil {
-		return err
+		return nil, err
 	}
 	info, err := os.Stat(path)
 	if err != nil {
-		return fmt.Errorf("store: sealing: %w", err)
+		return nil, fmt.Errorf("store: sealing: %w", err)
 	}
-	st.next++
-	st.segs = append(st.segs, seg)
-	st.diskBytes += info.Size()
-	st.count += seg.Len()
+	if st.mapped {
+		if mseg, err := MapSegmentFile(path); err == nil {
+			seg = mseg
+		}
+	}
+	return &Prepared{seg: seg, size: info.Size()}, nil
+}
+
+// Publish registers a prepared segment, making it visible to readers.
+// Pure in-memory bookkeeping: it cannot fail, so a caller may publish
+// inside a critical section that must not abort halfway.
+func (st *Store) Publish(p *Prepared) *Segment {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.segs = append(st.segs, p.seg)
+	st.diskBytes += p.size
+	st.count += p.seg.Len()
+	return p.seg
+}
+
+// Seal builds a segment from events (in the order given), writes it to
+// disk, and registers it. Returns the sealed segment.
+func (st *Store) Seal(events []console.Event) (*Segment, error) {
+	p, err := st.Prepare(events)
+	if err != nil {
+		return nil, err
+	}
+	return st.Publish(p), nil
+}
+
+// SealSegment writes an already-built segment to disk and registers it.
+func (st *Store) SealSegment(seg *Segment) error {
+	p, err := st.PrepareSegment(seg)
+	if err != nil {
+		return err
+	}
+	st.Publish(p)
 	return nil
 }
 
@@ -271,6 +374,30 @@ func (st *Store) ScanCode(code xid.Code) []console.Event {
 		out = seg.ScanCode(code, out)
 	}
 	return out
+}
+
+// ScanCodeRange returns every event carrying code within [since,
+// until] in segment order, pruning segments by their min/max time and
+// walking only bitmap-marked positions inside survivors.
+func (st *Store) ScanCodeRange(code xid.Code, since, until time.Time) []console.Event {
+	var out []console.Event
+	for _, seg := range st.Segments() {
+		if !seg.Overlaps(since, until) {
+			continue
+		}
+		out = seg.ScanCodeRange(code, since, until, out)
+	}
+	return out
+}
+
+// CountCode reports the fleet-wide total of events carrying code, by
+// per-segment bitmap popcounts.
+func (st *Store) CountCode(code xid.Code) int {
+	total := 0
+	for _, seg := range st.Segments() {
+		total += seg.CountCode(code)
+	}
+	return total
 }
 
 // ScanNode returns events on node within [since, until], pruning

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"titanre/internal/console"
+	"titanre/internal/gpu"
+	"titanre/internal/stats"
+	"titanre/internal/topology"
+	"titanre/internal/xid"
+)
+
+// Top-K offender cards — the paper's "a handful of cards produce almost
+// all the SBEs" lists, computed from segment columns and per-code
+// bitmaps without materializing events, ranked by stats.TopOffenders
+// (count descending, key ascending — deterministic).
+
+// TopBy selects the offender dimension.
+type TopBy string
+
+const (
+	TopByNode   TopBy = "node"
+	TopBySerial TopBy = "serial"
+	TopByCode   TopBy = "code"
+)
+
+// TopSpec describes one offender query. K ≤ 0 means every key. Zero
+// times mean unbounded; bounds are inclusive.
+type TopSpec struct {
+	By TopBy
+	K  int
+
+	// FilterCode counts only events carrying Code (per-code bitmap fast
+	// path inside segments).
+	FilterCode bool
+	Code       xid.Code
+
+	Since, Until time.Time
+}
+
+func (spec TopSpec) validate() error {
+	switch spec.By {
+	case TopByNode, TopBySerial, TopByCode:
+		return nil
+	}
+	return fmt.Errorf("store: top-k dimension %q (want node, serial or code)", spec.By)
+}
+
+// topAgg accumulates one offender's card.
+type topAgg struct {
+	count       int64
+	first, last int64
+	byCode      map[int16]int64
+}
+
+// Top accumulates offender counts; populate with AddSegment/AddEvents,
+// render with Doc.
+type Top struct {
+	spec   TopSpec
+	lo, hi int64
+	aggs   map[uint64]*topAgg
+	total  int64
+}
+
+// NewTop validates spec and returns an empty accumulator.
+func NewTop(spec TopSpec) (*Top, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	t := &Top{spec: spec, lo: math.MinInt64, hi: math.MaxInt64, aggs: make(map[uint64]*topAgg)}
+	if !spec.Since.IsZero() {
+		t.lo = spec.Since.Unix()
+	}
+	if !spec.Until.IsZero() {
+		t.hi = spec.Until.Unix()
+	}
+	return t, nil
+}
+
+// addRow is the shared kernel: one event as raw columns.
+func (t *Top) addRow(sec int64, code int16, node, serial uint32) {
+	if sec < t.lo || sec > t.hi {
+		return
+	}
+	if t.spec.FilterCode && xid.Code(code) != t.spec.Code {
+		return
+	}
+	var key uint64
+	switch t.spec.By {
+	case TopByNode:
+		key = uint64(node)
+	case TopBySerial:
+		key = uint64(serial)
+	case TopByCode:
+		key = uint64(uint16(code))
+	}
+	agg := t.aggs[key]
+	if agg == nil {
+		agg = &topAgg{first: sec, last: sec}
+		if t.spec.By != TopByCode {
+			agg.byCode = make(map[int16]int64)
+		}
+		t.aggs[key] = agg
+	}
+	agg.count++
+	if sec < agg.first {
+		agg.first = sec
+	}
+	if sec > agg.last {
+		agg.last = sec
+	}
+	if agg.byCode != nil {
+		agg.byCode[code]++
+	}
+	t.total++
+}
+
+// AddSegment folds one sealed segment in, streaming its columns. A code
+// filter walks only that code's bitmap positions; by=code walks each
+// code's bitmap in turn — positions come straight off the bitmaps
+// either way.
+func (t *Top) AddSegment(s *Segment) {
+	if t.lo > s.maxT || t.hi < s.minT {
+		return
+	}
+	serialAt := func(i int) uint32 {
+		if t.spec.By != TopBySerial {
+			return 0
+		}
+		return s.serials[s.nodes[i]][s.cards[i]]
+	}
+	switch {
+	case t.spec.FilterCode:
+		cb := s.findCode(t.spec.Code)
+		if cb == nil {
+			return
+		}
+		cb.bits.forEach(func(i int) bool {
+			t.addRow(s.times[i], int16(s.codes[i]), s.nodes[i], serialAt(i))
+			return true
+		})
+	case t.spec.By == TopByCode:
+		for ci := range s.byCode {
+			cb := &s.byCode[ci]
+			cb.bits.forEach(func(i int) bool {
+				t.addRow(s.times[i], int16(cb.code), s.nodes[i], 0)
+				return true
+			})
+		}
+	default:
+		for i, sec := range s.times {
+			t.addRow(sec, int16(s.codes[i]), s.nodes[i], serialAt(i))
+		}
+	}
+}
+
+// AddEvents folds materialized events (the retained tail) through the
+// identical kernel.
+func (t *Top) AddEvents(events []console.Event) {
+	for _, e := range events {
+		t.addRow(e.Time.Unix(), int16(e.Code), uint32(e.Node), uint32(e.Serial))
+	}
+}
+
+// TopCard is one rendered offender.
+type TopCard struct {
+	Node      string           `json:"node,omitempty"`
+	Serial    string           `json:"serial,omitempty"`
+	Code      string           `json:"code,omitempty"`
+	Count     int64            `json:"count"`
+	FirstSeen time.Time        `json:"first_seen"`
+	LastSeen  time.Time        `json:"last_seen"`
+	ByCode    map[string]int64 `json:"by_code,omitempty"`
+}
+
+// TopDoc is the rendered ranking.
+type TopDoc struct {
+	By          string    `json:"by"`
+	K           int       `json:"k"`
+	Code        string    `json:"code,omitempty"`
+	TotalEvents int64     `json:"total_events"`
+	Cards       []TopCard `json:"cards"`
+}
+
+// Doc ranks the accumulated offenders and renders the top K cards.
+func (t *Top) Doc() TopDoc {
+	counts := make(map[uint64]int64, len(t.aggs))
+	for key, agg := range t.aggs {
+		counts[key] = agg.count
+	}
+	k := t.spec.K
+	if k <= 0 {
+		k = len(counts)
+	}
+	doc := TopDoc{
+		By:          string(t.spec.By),
+		K:           k,
+		TotalEvents: t.total,
+		Cards:       make([]TopCard, 0, k),
+	}
+	if t.spec.FilterCode {
+		doc.Code = t.spec.Code.String()
+	}
+	for _, kc := range stats.TopOffenders(counts, k) {
+		agg := t.aggs[kc.Key]
+		card := TopCard{
+			Count:     agg.count,
+			FirstSeen: time.Unix(agg.first, 0).UTC(),
+			LastSeen:  time.Unix(agg.last, 0).UTC(),
+		}
+		switch t.spec.By {
+		case TopByNode:
+			card.Node = topology.CNameOf(topology.NodeID(kc.Key))
+		case TopBySerial:
+			card.Serial = gpu.Serial(kc.Key).String()
+		case TopByCode:
+			card.Code = xid.Code(int16(kc.Key)).String()
+		}
+		if agg.byCode != nil {
+			card.ByCode = make(map[string]int64, len(agg.byCode))
+			for code, n := range agg.byCode {
+				card.ByCode[xid.Code(code).String()] = n
+			}
+		}
+		doc.Cards = append(doc.Cards, card)
+	}
+	return doc
+}
+
+// TopSegments folds an explicit segment list plus tail — what a caller
+// holding a consistent (segments, tail) snapshot uses.
+func TopSegments(segs []*Segment, tail []console.Event, spec TopSpec) (TopDoc, error) {
+	t, err := NewTop(spec)
+	if err != nil {
+		return TopDoc{}, err
+	}
+	for _, seg := range segs {
+		t.AddSegment(seg)
+	}
+	t.AddEvents(tail)
+	return t.Doc(), nil
+}
+
+// TopEvents computes the identical ranking from materialized events —
+// the batch reference.
+func TopEvents(events []console.Event, spec TopSpec) (TopDoc, error) {
+	t, err := NewTop(spec)
+	if err != nil {
+		return TopDoc{}, err
+	}
+	t.AddEvents(events)
+	return t.Doc(), nil
+}

@@ -26,6 +26,16 @@
 # at or under 1/3 the bytes and 1/5 the allocs, and the sealed store
 # must hold a retained event in at most 64 resident bytes.
 #
+# The query-engine phase (internal/store harness) measures fleet-wide
+# scan throughput — BenchmarkStoreScanHeap (cold per-query open + full
+# rollup scan, the bounded-memory heap path) against
+# BenchmarkStoreScanMapped (the same scan over the long-lived read-only
+# mapping) — plus the steady-state rollup kernel (ns/event, allocs per
+# query). The figures land in BENCH_store.json alongside the load
+# numbers, and two gates hold: the mapped scan must clear 2x the
+# heap-path MB/s, and a rollup query may allocate at most 8192 times
+# (the accumulator and rendered doc — never per event).
+#
 #   BENCHTIME=1s ./scripts/bench.sh    # default 1s per benchmark
 #   BENCHTIME=5x ./scripts/bench.sh    # iteration-count mode, e.g. in CI
 #   BENCH_OUT=/tmp/b.json ...          # write elsewhere (check.sh smoke)
@@ -127,6 +137,11 @@ go test ./internal/dataset -run '^$' \
     -bench '^(BenchmarkLoadColumnar|BenchmarkScanCode)$' \
     -benchmem -benchtime "$BENCHTIME" | tee "$STORE_RAW"
 
+echo "== query engine benchmarks (scan throughput + rollup kernel)"
+go test ./internal/store -run '^$' \
+    -bench '^(BenchmarkStoreScanHeap|BenchmarkStoreScanMapped|BenchmarkStoreRollup)$' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$STORE_RAW"
+
 echo "== store memory harness (heap bytes per retained event)"
 HEAP_RAW="$(mktemp)"
 BENCH_STORE_MEM=1 go test ./internal/dataset \
@@ -151,8 +166,13 @@ awk -v heap="$HEAP" '
         if ($i == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
-    if (name == "BenchmarkLoadColumnar") { lns = ns; lb = bytes; la = allocs }
-    if (name == "BenchmarkScanCode")     { smbs = mbs }
+    nsev = ""
+    for (i = 2; i <= NF; i++) if ($i == "ns/event") nsev = $(i - 1)
+    if (name == "BenchmarkLoadColumnar")    { lns = ns; lb = bytes; la = allocs }
+    if (name == "BenchmarkScanCode")        { smbs = mbs }
+    if (name == "BenchmarkStoreScanHeap")   { hmbs = mbs }
+    if (name == "BenchmarkStoreScanMapped") { mmbs = mbs }
+    if (name == "BenchmarkStoreRollup")     { rns = nsev; ra = allocs }
 }
 END {
     printf "{\n"
@@ -160,6 +180,10 @@ END {
     printf "  \"load_bytes_per_op\": %s,\n",  (lb   == "" ? "null" : lb)
     printf "  \"load_allocs_per_op\": %s,\n", (la   == "" ? "null" : la)
     printf "  \"scan_mb_per_s\": %s,\n",      (smbs == "" ? "null" : smbs)
+    printf "  \"scan_mb_per_s_heap\": %s,\n",   (hmbs == "" ? "null" : hmbs)
+    printf "  \"scan_mb_per_s_mapped\": %s,\n", (mmbs == "" ? "null" : mmbs)
+    printf "  \"rollup_ns_per_event\": %s,\n",  (rns  == "" ? "null" : rns)
+    printf "  \"rollup_allocs_per_op\": %s,\n", (ra   == "" ? "null" : ra)
     printf "  \"heap_bytes_per_retained_event\": %s\n", heap
     printf "}\n"
 }
@@ -192,4 +216,31 @@ if [ "${HEAP%%.*}" -gt "$HEAP_BUDGET" ]; then
 fi
 echo "== columnar load allocs/op: $LA (budget $ALLOC_BUDGET), B/op: $LB (budget $BYTE_BUDGET)"
 echo "== store heap bytes/event: $HEAP (budget $HEAP_BUDGET)"
+
+# Query-engine gates: the mapped scan must clear 2x the heap-path MB/s
+# (the whole point of aliasing the page cache instead of re-decoding),
+# and a rollup query is budgeted 8192 allocations — the accumulator map
+# and the rendered document, never a per-event cost.
+ROLLUP_ALLOC_BUDGET=8192
+HMBS=$(awk -F'"scan_mb_per_s_heap": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+MMBS=$(awk -F'"scan_mb_per_s_mapped": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+RA=$(awk -F'"rollup_allocs_per_op": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+if [ -z "$HMBS" ] || [ "$HMBS" = "null" ] || [ -z "$MMBS" ] || [ "$MMBS" = "null" ]; then
+    echo "bench.sh: scan throughput figures missing from $STORE_OUT" >&2
+    exit 1
+fi
+if ! awk -v h="$HMBS" -v m="$MMBS" 'BEGIN { exit !(m >= 2 * h) }'; then
+    echo "bench.sh: mapped scan at $MMBS MB/s does not clear 2x the heap path ($HMBS MB/s)" >&2
+    exit 1
+fi
+if [ -z "$RA" ] || [ "$RA" = "null" ]; then
+    echo "bench.sh: rollup allocation figure missing from $STORE_OUT" >&2
+    exit 1
+fi
+if [ "${RA%%.*}" -gt "$ROLLUP_ALLOC_BUDGET" ]; then
+    echo "bench.sh: rollup query allocates $RA/op, budget is $ROLLUP_ALLOC_BUDGET" >&2
+    exit 1
+fi
+echo "== scan throughput: heap $HMBS MB/s, mapped $MMBS MB/s (gate: mapped >= 2x heap)"
+echo "== rollup query allocs/op: $RA (budget $ROLLUP_ALLOC_BUDGET)"
 echo "ok"

@@ -1,10 +1,13 @@
 #!/bin/sh
 # check.sh — the full local verification gate:
 #   build, vet, race-enabled tests, the columnar segment round-trip
-#   digests, the crash-recovery soak (kill at every failpoint), a short
-#   fuzz smoke of the console parser (the recovering ingest path is
-#   built on it), and the benchmark budgets (fast-path decode allocs,
-#   columnar load bytes/allocs, store heap per event, journal overhead).
+#   digests, the query-engine equivalences (live rollup/top/code-history
+#   vs the batch kernels, snapshot consistency under compaction), the
+#   crash-recovery soak (kill at every failpoint), a short fuzz smoke of
+#   the console parser (the recovering ingest path is built on it), and
+#   the benchmark budgets (fast-path decode allocs, columnar load
+#   bytes/allocs, store heap per event, journal overhead, mapped scan
+#   throughput, rollup allocations).
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -32,6 +35,10 @@ echo "== columnar segment round-trip digests (seal -> scan, race mode)"
 go test -race ./internal/store -run 'TestRoundTripDigest|TestEventsExact' -count=2
 go test -race ./internal/dataset -run 'TestColumnarLoadIdentical|TestColumnarReportIdentical' -count=1
 go test -race ./internal/serve -run 'TestCompactionBoundsRetained|TestWarmRestart' -count=1
+
+echo "== query engine: rollup-vs-batch equivalence + snapshot consistency (race mode)"
+go test -race ./internal/store -run 'TestRollupMatchesEventKernel|TestTopMatchesEventKernel|TestMappedMatchesHeap|TestPreparePublish' -count=1
+go test -race ./internal/serve -run 'TestRollupMatchesBatch|TestCodeHistoryFleetWide|TestTopOffenders|TestHistoryArrivalOrder|TestQueryConsistencyUnderCompaction' -count=1
 
 echo "== crash-recovery equivalence (journal + quarantine, race mode)"
 go test -race ./internal/serve -run 'TestCrashRestart|TestKillMidCompactionRecovery|TestQuarantineDegradedStart' -count=1
