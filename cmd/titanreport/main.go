@@ -20,7 +20,10 @@
 // the dataset's console events into columnar segments (DIR/segments);
 // once sealed, -strict loads skip the console parse entirely and the
 // study runs its per-code index off the segment bitmaps — the report
-// bytes are identical either way.
+// bytes are identical either way. -query runs one titanql expression
+// (see internal/titanql) instead of the report and prints its JSON
+// document — the identical compiled plan titand serves on GET /query,
+// executed segment-parallel when the dataset has sealed segments.
 package main
 
 import (
@@ -57,6 +60,8 @@ func main() {
 	rollup := flag.String("rollup", "", "print a time-bucketed rollup JSON instead of the report: comma list of code, cabinet, cage, node (empty list = pure time series; same kernel as titand's GET /rollup)")
 	rollupBucket := flag.Duration("rollup-bucket", time.Hour, "rollup bucket width (with -rollup)")
 	rollupCode := flag.String("rollup-code", "", "restrict -rollup to one code (an XID number, sbe or otb)")
+	query := flag.String("query", "", "run one titanql expression instead of the report, e.g. 'code=48 cabinet=c3-* | by cage | bucket 6h | top 5' (same compiled plan and bytes as titand's GET /query; with -data over sealed segments it executes segment-parallel)")
+	queryWorkers := flag.Int("query-workers", 0, "segment-parallel workers for -query (0 = GOMAXPROCS; output identical at any width)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -132,6 +137,23 @@ func main() {
 
 	if *rollup != "" || *rollupCode != "" {
 		if err := printRollup(study, *rollup, *rollupBucket, *rollupCode); err != nil {
+			fmt.Fprintln(os.Stderr, "titanreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *query != "" {
+		doc, err := study.Query(*query, *queryWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "titanreport:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintln(os.Stderr, "titanreport:", err)
 			os.Exit(1)
 		}

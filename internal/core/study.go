@@ -19,6 +19,7 @@ import (
 	"titanre/internal/scheduler"
 	"titanre/internal/sim"
 	"titanre/internal/store"
+	"titanre/internal/titanql"
 	"titanre/internal/topology"
 	"titanre/internal/xid"
 )
@@ -278,6 +279,27 @@ func (s *Study) Rollup(spec store.RollupSpec) (store.RollupDoc, error) {
 // live /top endpoint must match.
 func (s *Study) TopOffenderCards(spec store.TopSpec) (store.TopDoc, error) {
 	return store.TopEvents(s.Result.Events, spec)
+}
+
+// Query runs one titanql expression over the study. A store-backed
+// study executes the compiled plan segment-parallel over its sealed
+// segments — the same execution titand's GET /query runs — while an
+// event-backed study folds the materialized stream through the naive
+// reference; the document is byte-identical either way (and at any
+// worker count; <= 0 means GOMAXPROCS).
+func (s *Study) Query(q string, workers int) (titanql.Doc, error) {
+	plan, err := titanql.Parse(q)
+	if err != nil {
+		return titanql.Doc{}, err
+	}
+	compiled, err := plan.Compile()
+	if err != nil {
+		return titanql.Doc{}, err
+	}
+	if s.store != nil {
+		return compiled.Execute(s.store.Segments(), nil, workers)
+	}
+	return compiled.ExecuteEvents(s.Result.Events)
 }
 
 // Alerts replays the console log through the operator alerting engine

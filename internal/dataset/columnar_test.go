@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"titanre/internal/core"
@@ -86,6 +87,38 @@ func TestColumnarReportIdentical(t *testing.T) {
 
 	if !bytes.Equal(flat.Bytes(), columnar.Bytes()) {
 		t.Fatalf("columnar report differs from flat report (%d vs %d bytes)", columnar.Len(), flat.Len())
+	}
+}
+
+// TestColumnarQueryIdentical: titanql plans run through a store-backed
+// study (compiled, segment-parallel over the sealed segments — the
+// titanreport -query path) render byte-identically to the naive fold
+// over the flat-loaded event stream.
+func TestColumnarQueryIdentical(t *testing.T) {
+	dir, want := tinyColumnarDataset(t)
+	res, st, err := LoadStore(dir, want.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, columnar := core.FromResult(want), core.FromStore(res, st)
+	for _, q := range []string{
+		"* | by code | bucket 1h",
+		"code=48 cabinet=c3-* | by cage | bucket 6h | top 5",
+		"code=13,31 | top node 10",
+	} {
+		a, err := flat.Query(q, 0)
+		if err != nil {
+			t.Fatalf("flat Query(%q): %v", q, err)
+		}
+		b, err := columnar.Query(q, 0)
+		if err != nil {
+			t.Fatalf("columnar Query(%q): %v", q, err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("Query(%q): columnar execution diverges from the flat fold\ngot:  %s\nwant: %s", q, bj, aj)
+		}
 	}
 }
 

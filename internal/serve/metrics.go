@@ -54,6 +54,8 @@ type metrics struct {
 	queryCodeHistory atomic.Uint64 // GET /codes/{xid}/history served
 	queryRollup      atomic.Uint64 // GET /rollup served
 	queryTop         atomic.Uint64 // GET /top served
+	queries          atomic.Uint64 // GET /query requests (titanql plans)
+	queryErrors      atomic.Uint64 // GET /query requests rejected (parse/compile/execute)
 
 	// Ingest latency histogram (request admission to 202, seconds).
 	latCount atomic.Uint64
@@ -137,6 +139,8 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 	counter("titand_query_code_history_total", "Fleet-wide code history queries served (GET /codes/{xid}/history).", m.queryCodeHistory.Load())
 	counter("titand_query_rollup_total", "Time-bucketed rollup queries served (GET /rollup).", m.queryRollup.Load())
 	counter("titand_query_top_total", "Top-offender queries served (GET /top).", m.queryTop.Load())
+	counter("titand_queries_total", "titanql plans received on GET /query (accepted or not).", m.queries.Load())
+	counter("titand_query_errors_total", "GET /query requests rejected at parse, compile or execute.", m.queryErrors.Load())
 	if g.journal != nil {
 		counter("titand_journal_appends_total", "Events framed into the write-ahead journal.", g.journal.Appends)
 		counter("titand_journal_append_failures_total", "Events applied but not journaled because the journal was wedged by an I/O failure.", g.journal.AppendFailures)

@@ -9,6 +9,7 @@ import (
 
 	"titanre/internal/console"
 	"titanre/internal/store"
+	"titanre/internal/titanql"
 	"titanre/internal/topology"
 	"titanre/internal/xid"
 )
@@ -18,8 +19,9 @@ import (
 // served live off the columnar store:
 //
 //	GET /codes/{xid}/history?since=&until=&limit=
-//	GET /rollup?by=code,cabinet&bucket=1h&code=&since=&until=
+//	GET /rollup?by=code,cabinet&bucket=1h&code=&cabinet=&cage=&node=&since=&until=
 //	GET /top?k=20&by=node|serial|code&code=&since=&until=
+//	GET /query?q=<titanql expression>
 //
 // All three read one consistent (sealed segments, retained tail)
 // snapshot via historyView, stream segment columns without
@@ -170,14 +172,85 @@ func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request) {
 	if spec.Since, spec.Until, ok = parseTimeRange(w, r); !ok {
 		return
 	}
+	m, ok := parseWhereParams(w, r)
+	if !ok {
+		return
+	}
 
 	segs, tail := s.historyView()
-	doc, err := store.RollupSegments(segs, tail, spec)
+	doc, err := store.ParallelRollup(segs, tail, spec, m, 0)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.metrics.queryRollup.Add(1)
+	writeJSON(w, doc)
+}
+
+// parseWhereParams reads the optional ?cabinet= / ?cage= / ?node=
+// location filters into a compiled matcher (nil when none are given).
+// Decoding goes through titanql.SetPred — the same helper the query
+// language uses — so `?cabinet=c3-*` and `cabinet=c3-*` in a /query
+// expression accept identical spellings and fail identically.
+func parseWhereParams(w http.ResponseWriter, r *http.Request) (*store.Matcher, bool) {
+	p := store.Predicate{Cage: -1}
+	for _, key := range []string{"node", "cabinet", "cage"} {
+		v := r.URL.Query().Get(key)
+		if v == "" {
+			continue
+		}
+		if err := titanql.SetPred(&p, key, v, false); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+	}
+	if p.Empty() {
+		return nil, true
+	}
+	m, err := p.Compile()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return m, true
+}
+
+// handleQuery serves one composed titanql plan — filter × group ×
+// bucket × rank in a single expression:
+//
+//	GET /query?q=code=48 cabinet=c3-* | by cage | bucket 6h | top 5
+//
+// The plan is compiled onto the store kernels and executed
+// segment-parallel over the same consistent (sealed, tail) snapshot
+// every other query endpoint reads; the response carries the canonical
+// query spelling and is byte-identical at any worker count.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.queries.Add(1)
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.metrics.queryErrors.Add(1)
+		http.Error(w, "missing q: want /query?q=<titanql expression>", http.StatusBadRequest)
+		return
+	}
+	plan, err := titanql.Parse(q)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	compiled, err := plan.Compile()
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	segs, tail := s.historyView()
+	doc, err := compiled.Execute(segs, tail, 0)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	writeJSON(w, doc)
 }
 

@@ -259,6 +259,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /codes/{xid}/history", s.handleCodeHistory)
 	s.mux.HandleFunc("GET /rollup", s.handleRollup)
 	s.mux.HandleFunc("GET /top", s.handleTop)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /warnings", s.handleWarnings)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -692,6 +693,8 @@ type Stats struct {
 	QueryCodeHistory uint64 `json:"query_code_history"`
 	QueryRollup      uint64 `json:"query_rollup"`
 	QueryTop         uint64 `json:"query_top"`
+	Queries          uint64 `json:"queries"`
+	QueryErrors      uint64 `json:"query_errors"`
 
 	// Journal is present when the write-ahead journal is active.
 	Journal *JournalStats `json:"journal,omitempty"`
@@ -741,6 +744,8 @@ func (s *Server) StatsNow() Stats {
 	st.QueryCodeHistory = m.queryCodeHistory.Load()
 	st.QueryRollup = m.queryRollup.Load()
 	st.QueryTop = m.queryTop.Load()
+	st.Queries = m.queries.Load()
+	st.QueryErrors = m.queryErrors.Load()
 	st.Compactions = m.compactions.Load()
 	st.CompactionRetries = m.compactRetries.Load()
 	st.EventsSealed = m.eventsSealed.Load()

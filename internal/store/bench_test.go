@@ -131,6 +131,83 @@ func BenchmarkStoreRollup(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fx.events), "ns/event")
 }
 
+// queryBenchFixture re-seals the shared month into many small segments
+// (its own directory), so the segment-parallel executor has enough
+// independent units of work to spread across cores.
+var queryBenchFixture = sync.OnceValue(func() struct {
+	dir    string
+	events int
+	disk   int64
+} {
+	fx := benchFixture()
+	src, _, err := OpenDir(fx.dir, OpenOptions{Mapped: true})
+	if err != nil {
+		panic(err)
+	}
+	defer src.Close()
+	events := src.Events()
+	dir, err := os.MkdirTemp("", "titanre-bench-query")
+	if err != nil {
+		panic(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	const chunk = 1 << 13
+	for lo := 0; lo < len(events); lo += chunk {
+		hi := min(lo+chunk, len(events))
+		if _, err := st.Seal(events[lo:hi]); err != nil {
+			panic(err)
+		}
+	}
+	return struct {
+		dir    string
+		events int
+		disk   int64
+	}{dir, len(events), st.DiskBytes()}
+})
+
+// benchQuery runs one representative composed titanql workload — a
+// compound predicate (code set ∪ via bitmaps, cage via the node mask)
+// under a grouped, bucketed rollup — across the whole store at the given
+// worker count.
+func benchQuery(b *testing.B, workers int) {
+	fx := queryBenchFixture()
+	st, _, err := OpenDir(fx.dir, OpenOptions{Mapped: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	m, err := Predicate{Cage: 2}.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := RollupSpec{ByCode: true, ByCage: true, Bucket: 6 * time.Hour}
+	segs := st.Segments()
+	b.SetBytes(fx.disk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		doc, err := ParallelRollup(segs, nil, spec, m, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if doc.TotalEvents <= 0 || doc.TotalEvents >= int64(fx.events) {
+			b.Fatalf("cage predicate kept %d of %d events", doc.TotalEvents, fx.events)
+		}
+	}
+}
+
+// BenchmarkStoreQuery1CPU is the composed-query workload pinned to one
+// worker — the single-core baseline the parallel gate compares against.
+func BenchmarkStoreQuery1CPU(b *testing.B) { benchQuery(b, 1) }
+
+// BenchmarkStoreQueryNCPU is the same workload at GOMAXPROCS workers —
+// bench.sh records both MB/s figures and gates the speedup at >= 2x on
+// machines with >= 4 cores.
+func BenchmarkStoreQueryNCPU(b *testing.B) { benchQuery(b, 0) }
+
 // BenchmarkStoreTop measures the offender ranking over the same store.
 func BenchmarkStoreTop(b *testing.B) {
 	fx := benchFixture()

@@ -14,6 +14,26 @@ func newBitmap(n int) bitmap {
 	return bitmap{words: make([]uint64, (n+63)/64)}
 }
 
+// newBitmapFull returns a bitmap of n positions with every bit set;
+// trailing bits past n stay clear so count and forEach see exactly n.
+func newBitmapFull(n int) bitmap {
+	b := newBitmap(n)
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << rem) - 1
+	}
+	return b
+}
+
+// clone returns an independent copy.
+func (b bitmap) clone() bitmap {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return bitmap{words: words}
+}
+
 func (b bitmap) set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
 
 func (b bitmap) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
@@ -25,6 +45,38 @@ func (b bitmap) count() int {
 		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// and intersects other into b, word-wise. Both bitmaps must cover the
+// same position count (all bitmaps over one segment do).
+func (b bitmap) and(other bitmap) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// or unions other into b, word-wise.
+func (b bitmap) or(other bitmap) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// andNot clears every bit of b that is set in other, word-wise.
+func (b bitmap) andNot(other bitmap) {
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// any reports whether at least one bit is set.
+func (b bitmap) any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // forEach visits set bits in ascending order until fn returns false.

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"titanre/internal/console"
+)
+
+// Segment-parallel query execution. Sealed segments are immutable (and,
+// mapped, read-only pages), so independent workers can evaluate them
+// concurrently with no locking at all: each worker folds whole segments
+// into its own private accumulator, pulling segment indexes off one
+// atomic counter, and the partials merge afterwards. Because every merge
+// operation is commutative and associative (cell counts add, first/last
+// take min/max) and the final Doc render sorts canonically, the document
+// is byte-identical at any worker count and any assignment of segments
+// to workers — the same determinism discipline the parallel simulator
+// and report renderer follow.
+
+// queryWorkers resolves a worker-count request: <=0 means GOMAXPROCS,
+// and there is never a reason to run more workers than segments.
+func queryWorkers(workers, segs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > segs {
+		workers = segs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelRollup evaluates one rollup over sealed segments concurrently,
+// restricted to rows matching m (nil = all), then folds the retained
+// tail through the identical kernel. workers <= 0 uses GOMAXPROCS; the
+// rendered document is byte-identical at any width.
+func ParallelRollup(segs []*Segment, tail []console.Event, spec RollupSpec, m *Matcher, workers int) (RollupDoc, error) {
+	root, err := NewRollup(spec)
+	if err != nil {
+		return RollupDoc{}, err
+	}
+	workers = queryWorkers(workers, len(segs))
+	if workers <= 1 {
+		for _, seg := range segs {
+			root.AddSegmentWhere(seg, m)
+		}
+	} else {
+		partials := make([]*Rollup, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := range partials {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// The spec already validated through root.
+				part, _ := NewRollup(spec)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(segs) {
+						break
+					}
+					part.AddSegmentWhere(segs[i], m)
+				}
+				partials[w] = part
+			}(w)
+		}
+		wg.Wait()
+		for _, part := range partials {
+			root.Merge(part)
+		}
+	}
+	root.AddEventsWhere(tail, m)
+	return root.Doc(), nil
+}
+
+// ParallelTop evaluates one offender ranking over sealed segments
+// concurrently, restricted to rows matching m (nil = all), then folds
+// the retained tail. Byte-identical at any worker count.
+func ParallelTop(segs []*Segment, tail []console.Event, spec TopSpec, m *Matcher, workers int) (TopDoc, error) {
+	root, err := NewTop(spec)
+	if err != nil {
+		return TopDoc{}, err
+	}
+	workers = queryWorkers(workers, len(segs))
+	if workers <= 1 {
+		for _, seg := range segs {
+			root.AddSegmentWhere(seg, m)
+		}
+	} else {
+		partials := make([]*Top, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := range partials {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				part, _ := NewTop(spec)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(segs) {
+						break
+					}
+					part.AddSegmentWhere(segs[i], m)
+				}
+				partials[w] = part
+			}(w)
+		}
+		wg.Wait()
+		for _, part := range partials {
+			root.Merge(part)
+		}
+	}
+	root.AddEventsWhere(tail, m)
+	return root.Doc(), nil
+}

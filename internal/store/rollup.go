@@ -152,6 +152,58 @@ func (r *Rollup) AddEvents(events []console.Event) {
 	}
 }
 
+// AddSegmentWhere folds only the segment rows matching m, walking the
+// positions its predicate bitmap marks (see Matcher.segmentBits). A nil
+// matcher is AddSegment; a segment the matcher rules out entirely is
+// skipped without touching its columns.
+func (r *Rollup) AddSegmentWhere(s *Segment, m *Matcher) {
+	if m == nil {
+		r.AddSegment(s)
+		return
+	}
+	if r.lo > s.maxT || r.hi < s.minT {
+		return
+	}
+	bits, kind := m.segmentBits(s)
+	switch kind {
+	case matchNone:
+		return
+	case matchAll:
+		r.AddSegment(s)
+		return
+	}
+	bits.forEach(func(i int) bool {
+		r.addRow(s.times[i], int16(s.codes[i]), s.nodes[i])
+		return true
+	})
+}
+
+// AddEventsWhere folds only the materialized events matching m through
+// the identical kernel. A nil matcher is AddEvents.
+func (r *Rollup) AddEventsWhere(events []console.Event, m *Matcher) {
+	if m == nil {
+		r.AddEvents(events)
+		return
+	}
+	for _, e := range events {
+		if m.MatchEvent(e) {
+			r.addRow(e.Time.Unix(), int16(e.Code), uint32(e.Node))
+		}
+	}
+}
+
+// Merge folds another accumulator built with the same spec into r.
+// Cell addition is commutative and associative, so merging per-worker
+// partials in any order renders the identical document — the property
+// the segment-parallel executor's determinism rests on. o must not be
+// used afterwards.
+func (r *Rollup) Merge(o *Rollup) {
+	for k, v := range o.cells {
+		r.cells[k] += v
+	}
+	r.total += o.total
+}
+
 // RollupCell is one rendered cell. Only the grouped dimensions are
 // present; Count is the number of events in the cell.
 type RollupCell struct {

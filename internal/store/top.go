@@ -164,6 +164,76 @@ func (t *Top) AddEvents(events []console.Event) {
 	}
 }
 
+// AddSegmentWhere folds only the segment rows matching m, walking the
+// positions its predicate bitmap marks. A nil matcher is AddSegment; a
+// ruled-out segment is skipped without touching its columns.
+func (t *Top) AddSegmentWhere(s *Segment, m *Matcher) {
+	if m == nil {
+		t.AddSegment(s)
+		return
+	}
+	if t.lo > s.maxT || t.hi < s.minT {
+		return
+	}
+	bits, kind := m.segmentBits(s)
+	switch kind {
+	case matchNone:
+		return
+	case matchAll:
+		t.AddSegment(s)
+		return
+	}
+	bySerial := t.spec.By == TopBySerial
+	bits.forEach(func(i int) bool {
+		var serial uint32
+		if bySerial {
+			serial = s.serials[s.nodes[i]][s.cards[i]]
+		}
+		t.addRow(s.times[i], int16(s.codes[i]), s.nodes[i], serial)
+		return true
+	})
+}
+
+// AddEventsWhere folds only the materialized events matching m. A nil
+// matcher is AddEvents.
+func (t *Top) AddEventsWhere(events []console.Event, m *Matcher) {
+	if m == nil {
+		t.AddEvents(events)
+		return
+	}
+	for _, e := range events {
+		if m.MatchEvent(e) {
+			t.addRow(e.Time.Unix(), int16(e.Code), uint32(e.Node), uint32(e.Serial))
+		}
+	}
+}
+
+// Merge folds another accumulator built with the same spec into t.
+// Counts add, first/last take min/max, per-code breakdowns add — all
+// commutative and associative, so per-worker partials merge to the
+// identical ranking in any order. o must not be used afterwards (its
+// aggregates may be adopted by t).
+func (t *Top) Merge(o *Top) {
+	for key, oa := range o.aggs {
+		agg := t.aggs[key]
+		if agg == nil {
+			t.aggs[key] = oa
+			continue
+		}
+		agg.count += oa.count
+		if oa.first < agg.first {
+			agg.first = oa.first
+		}
+		if oa.last > agg.last {
+			agg.last = oa.last
+		}
+		for code, n := range oa.byCode {
+			agg.byCode[code] += n
+		}
+	}
+	t.total += o.total
+}
+
 // TopCard is one rendered offender.
 type TopCard struct {
 	Node      string           `json:"node,omitempty"`

@@ -1,0 +1,156 @@
+package titanql
+
+import (
+	"sort"
+
+	"titanre/internal/console"
+	"titanre/internal/store"
+)
+
+// Compiling a plan lowers it onto the store kernels: the filter becomes
+// one shared store.Matcher (inside sealed segments it evaluates to a
+// position bitmap — stored per-code bitmaps unioned, then intersected
+// word-wise with the node-mask and time-range bitmaps; over the
+// retained tail it tests events one by one), and the stages become the
+// RollupSpec or TopSpec the accumulators already understand. Execute
+// then fans sealed segments across the segment-parallel workers;
+// because partial accumulators merge commutatively and the final render
+// sorts canonically, the document is byte-identical at any worker
+// count — and byte-identical to ExecuteEvents, the naive materialized
+// fold, which is the standing equivalence gate.
+
+// Doc is one executed query. Exactly one of Rollup/Top is set,
+// mirroring the plan kind; Query echoes the canonical spelling.
+type Doc struct {
+	Query     string           `json:"query"`
+	RankedTop int              `json:"ranked_top,omitempty"`
+	Rollup    *store.RollupDoc `json:"rollup,omitempty"`
+	Top       *store.TopDoc    `json:"top,omitempty"`
+}
+
+// Compiled is a plan lowered onto the store kernels, shareable
+// read-only across queries and workers.
+type Compiled struct {
+	plan    *Plan
+	query   string
+	matcher *store.Matcher
+	rollup  store.RollupSpec
+	top     store.TopSpec
+}
+
+// Compile validates the plan's filter (globs, cage range) and lowers it.
+// Time bounds live in both the matcher and the spec — the kernels prune
+// segments by min/max time either way, and applying them twice keeps
+// the two surfaces (compiled scan, naive fold) trivially aligned.
+func (p *Plan) Compile() (*Compiled, error) {
+	m, err := p.Filter.Compile()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{plan: p, query: p.String(), matcher: m}
+	if p.Kind == KindTop {
+		c.top = store.TopSpec{By: p.TopBy, K: p.TopK, Since: p.Filter.Since, Until: p.Filter.Until}
+		if _, err := store.NewTop(c.top); err != nil {
+			return nil, err
+		}
+	} else {
+		c.rollup = store.RollupSpec{
+			ByCode:    p.ByCode,
+			ByCabinet: p.ByCabinet,
+			ByCage:    p.ByCage,
+			ByNode:    p.ByNode,
+			Bucket:    p.Bucket,
+			Since:     p.Filter.Since,
+			Until:     p.Filter.Until,
+		}
+		if _, err := store.NewRollup(c.rollup); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Plan returns the plan the query was compiled from.
+func (c *Compiled) Plan() *Plan { return c.plan }
+
+// Execute runs the compiled plan over one consistent (sealed segments,
+// retained tail) snapshot, segment-parallel at the given worker count
+// (<= 0 means GOMAXPROCS). The rendered document is byte-identical at
+// any width and byte-identical to ExecuteEvents over the same stream.
+func (c *Compiled) Execute(segs []*store.Segment, tail []console.Event, workers int) (Doc, error) {
+	doc := Doc{Query: c.query}
+	if c.plan.Kind == KindTop {
+		top, err := store.ParallelTop(segs, tail, c.top, c.matcher, workers)
+		if err != nil {
+			return Doc{}, err
+		}
+		doc.Top = &top
+		return doc, nil
+	}
+	roll, err := store.ParallelRollup(segs, tail, c.rollup, c.matcher, workers)
+	if err != nil {
+		return Doc{}, err
+	}
+	rankCells(&roll, c.plan.RankK)
+	doc.RankedTop = c.plan.RankK
+	doc.Rollup = &roll
+	return doc, nil
+}
+
+// ExecuteEvents is the naive reference: materialize the whole stream,
+// filter it event by event through the same matcher, fold it through
+// the plain event kernels. Every compiled plan must byte-match it.
+func (c *Compiled) ExecuteEvents(events []console.Event) (Doc, error) {
+	kept := make([]console.Event, 0, len(events))
+	for _, e := range events {
+		if c.matcher.MatchEvent(e) {
+			kept = append(kept, e)
+		}
+	}
+	doc := Doc{Query: c.query}
+	if c.plan.Kind == KindTop {
+		top, err := store.TopEvents(kept, c.top)
+		if err != nil {
+			return Doc{}, err
+		}
+		doc.Top = &top
+		return doc, nil
+	}
+	roll, err := store.RollupEvents(kept, c.rollup)
+	if err != nil {
+		return Doc{}, err
+	}
+	rankCells(&roll, c.plan.RankK)
+	doc.RankedTop = c.plan.RankK
+	doc.Rollup = &roll
+	return doc, nil
+}
+
+// rankCells keeps the k highest-count cells. The stable sort over the
+// doc's canonical cell order makes ties deterministic, so ranked
+// documents stay byte-identical across executions.
+func rankCells(doc *store.RollupDoc, k int) {
+	if k <= 0 {
+		return
+	}
+	sort.SliceStable(doc.Cells, func(i, j int) bool {
+		return doc.Cells[i].Count > doc.Cells[j].Count
+	})
+	if len(doc.Cells) > k {
+		doc.Cells = doc.Cells[:k]
+	}
+}
+
+// Run parses, compiles and executes q in one call — what the /query
+// handler and titanreport -query both do.
+func Run(q string, segs []*store.Segment, tail []console.Event, workers int) (Doc, error) {
+	plan, err := Parse(q)
+	if err != nil {
+		return Doc{}, err
+	}
+	c, err := plan.Compile()
+	if err != nil {
+		return Doc{}, err
+	}
+	return c.Execute(segs, tail, workers)
+}

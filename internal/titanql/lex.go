@@ -1,0 +1,79 @@
+package titanql
+
+import "fmt"
+
+// The lexer splits a query into words, `=` / `!=` operators and `|`
+// stage separators. Words are maximal runs of anything else but
+// whitespace — globs (`c3-*`, `c?-0c[12]*`), RFC3339 timestamps,
+// negative code numbers and comma lists all pass through as single
+// words; the parser gives them meaning.
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tWord
+	tEq   // =
+	tNeq  // !=
+	tPipe // |
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tWord:
+		return "word"
+	case tEq:
+		return "'='"
+	case tNeq:
+		return "'!='"
+	case tPipe:
+		return "'|'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}
+
+// lex tokenizes the whole query up front. The only lex-level error is a
+// bare '!' not followed by '='.
+func lex(q string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case isSpace(c):
+			i++
+		case c == '|':
+			toks = append(toks, token{tPipe, "|", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 >= len(q) || q[i+1] != '=' {
+				return nil, fmt.Errorf("titanql: stray '!' at offset %d (did you mean '!=')", i)
+			}
+			toks = append(toks, token{tNeq, "!=", i})
+			i += 2
+		default:
+			start := i
+			for i < len(q) && !isSpace(q[i]) && q[i] != '|' && q[i] != '=' && q[i] != '!' {
+				i++
+			}
+			toks = append(toks, token{tWord, q[start:i], start})
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(q)})
+	return toks, nil
+}

@@ -31,10 +31,14 @@
 # rollup scan, the bounded-memory heap path) against
 # BenchmarkStoreScanMapped (the same scan over the long-lived read-only
 # mapping) — plus the steady-state rollup kernel (ns/event, allocs per
-# query). The figures land in BENCH_store.json alongside the load
-# numbers, and two gates hold: the mapped scan must clear 2x the
-# heap-path MB/s, and a rollup query may allocate at most 8192 times
-# (the accumulator and rendered doc — never per event).
+# query) and the titanql segment-parallel executor: one composed
+# predicate query (bitmap intersection + grouped bucketed rollup) at one
+# worker versus GOMAXPROCS workers. The figures land in BENCH_store.json
+# alongside the load numbers, and three gates hold: the mapped scan must
+# clear 2x the heap-path MB/s, a rollup query may allocate at most 8192
+# times (the accumulator and rendered doc — never per event), and on
+# machines with >= 4 cores the parallel query must clear 2x the
+# single-worker throughput (recorded informationally on smaller boxes).
 #
 #   BENCHTIME=1s ./scripts/bench.sh    # default 1s per benchmark
 #   BENCHTIME=5x ./scripts/bench.sh    # iteration-count mode, e.g. in CI
@@ -137,9 +141,9 @@ go test ./internal/dataset -run '^$' \
     -bench '^(BenchmarkLoadColumnar|BenchmarkScanCode)$' \
     -benchmem -benchtime "$BENCHTIME" | tee "$STORE_RAW"
 
-echo "== query engine benchmarks (scan throughput + rollup kernel)"
+echo "== query engine benchmarks (scan throughput + rollup kernel + parallel titanql query)"
 go test ./internal/store -run '^$' \
-    -bench '^(BenchmarkStoreScanHeap|BenchmarkStoreScanMapped|BenchmarkStoreRollup)$' \
+    -bench '^(BenchmarkStoreScanHeap|BenchmarkStoreScanMapped|BenchmarkStoreRollup|BenchmarkStoreQuery1CPU|BenchmarkStoreQueryNCPU)$' \
     -benchmem -benchtime "$BENCHTIME" | tee -a "$STORE_RAW"
 
 echo "== store memory harness (heap bytes per retained event)"
@@ -173,6 +177,8 @@ awk -v heap="$HEAP" '
     if (name == "BenchmarkStoreScanHeap")   { hmbs = mbs }
     if (name == "BenchmarkStoreScanMapped") { mmbs = mbs }
     if (name == "BenchmarkStoreRollup")     { rns = nsev; ra = allocs }
+    if (name == "BenchmarkStoreQuery1CPU")  { q1 = mbs }
+    if (name == "BenchmarkStoreQueryNCPU")  { qn = mbs }
 }
 END {
     printf "{\n"
@@ -184,6 +190,12 @@ END {
     printf "  \"scan_mb_per_s_mapped\": %s,\n", (mmbs == "" ? "null" : mmbs)
     printf "  \"rollup_ns_per_event\": %s,\n",  (rns  == "" ? "null" : rns)
     printf "  \"rollup_allocs_per_op\": %s,\n", (ra   == "" ? "null" : ra)
+    printf "  \"query_mb_per_s_1cpu\": %s,\n",  (q1   == "" ? "null" : q1)
+    printf "  \"query_mb_per_s_ncpu\": %s,\n",  (qn   == "" ? "null" : qn)
+    if (q1 == "" || qn == "" || q1 + 0 == 0)
+        printf "  \"query_speedup\": null,\n"
+    else
+        printf "  \"query_speedup\": %.2f,\n", qn / q1
     printf "  \"heap_bytes_per_retained_event\": %s\n", heap
     printf "}\n"
 }
@@ -243,4 +255,27 @@ if [ "${RA%%.*}" -gt "$ROLLUP_ALLOC_BUDGET" ]; then
 fi
 echo "== scan throughput: heap $HMBS MB/s, mapped $MMBS MB/s (gate: mapped >= 2x heap)"
 echo "== rollup query allocs/op: $RA (budget $ROLLUP_ALLOC_BUDGET)"
+
+# titanql segment-parallel gate: on >= 4 cores the GOMAXPROCS-worker
+# composed query must clear 2x the single-worker throughput (sealed
+# segments are independent units of work; the merge is cheap). On
+# smaller machines there is no parallelism to win, so the figures are
+# recorded but the gate is informational.
+Q1=$(awk -F'"query_mb_per_s_1cpu": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+QN=$(awk -F'"query_mb_per_s_ncpu": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+SPEEDUP=$(awk -F'"query_speedup": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$STORE_OUT")
+if [ -z "$Q1" ] || [ "$Q1" = "null" ] || [ -z "$QN" ] || [ "$QN" = "null" ]; then
+    echo "bench.sh: parallel query figures missing from $STORE_OUT" >&2
+    exit 1
+fi
+CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$CORES" -ge 4 ]; then
+    if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 2) }'; then
+        echo "bench.sh: parallel query speedup ${SPEEDUP}x on $CORES cores, gate is 2x (1cpu $Q1 MB/s, ncpu $QN MB/s)" >&2
+        exit 1
+    fi
+    echo "== parallel query: 1cpu $Q1 MB/s, ncpu $QN MB/s, speedup ${SPEEDUP}x on $CORES cores (gate >= 2x)"
+else
+    echo "== parallel query: 1cpu $Q1 MB/s, ncpu $QN MB/s, speedup ${SPEEDUP}x on $CORES cores (gate applies at >= 4 cores)"
+fi
 echo "ok"

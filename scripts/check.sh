@@ -3,11 +3,14 @@
 #   build, vet, race-enabled tests, the columnar segment round-trip
 #   digests, the query-engine equivalences (live rollup/top/code-history
 #   vs the batch kernels, snapshot consistency under compaction), the
-#   crash-recovery soak (kill at every failpoint), a short fuzz smoke of
-#   the console parser (the recovering ingest path is built on it), and
-#   the benchmark budgets (fast-path decode allocs, columnar load
-#   bytes/allocs, store heap per event, journal overhead, mapped scan
-#   throughput, rollup allocations).
+#   titanql equivalences (compiled bitmap-intersected segment-parallel
+#   plans vs the naive event fold, /query soaked during live
+#   compaction), the crash-recovery soak (kill at every failpoint),
+#   short fuzz smokes of the console parser and the titanql parser
+#   (grammar round-trip + plan equivalence), and the benchmark budgets
+#   (fast-path decode allocs, columnar load bytes/allocs, store heap per
+#   event, journal overhead, mapped scan throughput, rollup allocations,
+#   parallel query speedup on multi-core machines).
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -40,6 +43,13 @@ echo "== query engine: rollup-vs-batch equivalence + snapshot consistency (race 
 go test -race ./internal/store -run 'TestRollupMatchesEventKernel|TestTopMatchesEventKernel|TestMappedMatchesHeap|TestPreparePublish' -count=1
 go test -race ./internal/serve -run 'TestRollupMatchesBatch|TestCodeHistoryFleetWide|TestTopOffenders|TestHistoryArrivalOrder|TestQueryConsistencyUnderCompaction' -count=1
 
+echo "== titanql: compiled plans vs naive fold, /query under live compaction (race mode)"
+go test -race ./internal/titanql -count=1
+go test -race ./internal/store -run 'TestBitmapOps|TestSegmentBitsMatchEvent|TestParallelByteIdentical|TestRollupWhereMatchesEventFold' -count=1
+go test -race ./internal/serve -run 'TestQueryEndpointMatchesNaive|TestRollupWhereParams|TestQueryExprConsistencyUnderCompaction' -count=1
+go test -race ./internal/dataset -run 'TestColumnarQueryIdentical' -count=1
+go test -race ./internal/core -run 'TestStudyQueryStoreBacked' -count=1
+
 echo "== crash-recovery equivalence (journal + quarantine, race mode)"
 go test -race ./internal/serve -run 'TestCrashRestart|TestKillMidCompactionRecovery|TestQuarantineDegradedStart' -count=1
 go test -race ./internal/store -run 'TestOpenRecover|TestOpenRemovesOrphans' -count=1
@@ -55,6 +65,12 @@ go test ./internal/console -run '^$' -fuzz FuzzParseRawLine -fuzztime 5s
 
 echo "== differential fuzz smoke (FuzzDecodeEquivalence, 5s)"
 go test ./internal/console -run '^$' -fuzz FuzzDecodeEquivalence -fuzztime 5s
+
+echo "== titanql fuzz smoke (parser round-trip, 5s)"
+go test ./internal/titanql -run '^$' -fuzz FuzzTitanQLParse -fuzztime 5s
+
+echo "== titanql differential fuzz smoke (plan equivalence, 5s)"
+go test ./internal/titanql -run '^$' -fuzz FuzzTitanQLEquivalence -fuzztime 5s
 
 echo "== fast-path I/O + columnar store benchmarks and budgets (bench.sh, 1 iteration)"
 BENCHTIME=1x BENCH_OUT="$(mktemp)" BENCH_SERVE_OUT="$(mktemp)" BENCH_STORE_OUT="$(mktemp)" ./scripts/bench.sh
