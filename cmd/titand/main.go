@@ -12,7 +12,7 @@
 //	       [-compact-dir DIR] [-compact-interval D] [-compact-age D]
 //	       [-compact-min N] [-mmap] [-journal] [-journal-fsync POLICY]
 //	       [-journal-sync-interval D] [-journal-rotate-bytes N]
-//	       [-failpoints SPEC] [-list-failpoints]
+//	       [-failpoints SPEC] [-list-failpoints] [-pprof ADDR]
 //
 // Endpoints:
 //
@@ -75,6 +75,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -113,6 +115,7 @@ func main() {
 	journalRotateBytes := flag.Int64("journal-rotate-bytes", 0, "rotate journal files past this size (0 = default 4MiB)")
 	failpoints := flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store.segment.sync=kill:2' (also TITAND_FAILPOINTS)")
 	listFailpoints := flag.Bool("list-failpoints", false, "print the failpoint catalog and exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address, e.g. localhost:6060 (empty = off)")
 	flag.Parse()
 
 	if *listFailpoints {
@@ -209,6 +212,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "titand: warm start: DEGRADED — quarantined %d corrupt segment(s), %d events lost; see %s\n",
 				ws.Quarantined, ws.EventsLost, filepath.Join(cfg.CompactDir, "quarantine"))
 		}
+	}
+
+	if *pprofAddr != "" {
+		// The profiler rides a side listener so profiling traffic never
+		// competes with /ingest on the service port.
+		go func() {
+			fmt.Fprintf(os.Stderr, "titand: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "titand: pprof: %v\n", err)
+			}
+		}()
 	}
 
 	sigCh := make(chan os.Signal, 1)

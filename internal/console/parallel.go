@@ -199,6 +199,65 @@ func (c *Correlator) ParseBytes(data []byte, workers int) ([]Event, error) {
 	return out, nil
 }
 
+// ParseBytesIndexed is the serial walk of ParseBytes that additionally
+// reports each event's 0-based line index within data. Indices count
+// every newline-delimited record — empty, oversized, and chatter lines
+// included — exactly like countLines and SplitBatch, so a router that
+// split a batch can map the j-th event of a sub-batch back to its
+// original batch line (and from there to a global sequence number).
+// Counters book into c as ParseBytes does.
+func (c *Correlator) ParseBytesIndexed(data []byte) ([]Event, []int32, error) {
+	var res shardResult
+	idxs := make([]int32, 0, bytes.Count(data, []byte{'\n'})+1)
+	res.events = make([]Event, 0, cap(idxs))
+	var d Decoder
+	idx := int32(-1)
+	for off := 0; off < len(data); {
+		idx++
+		var line []byte
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			line = data[off : off+nl]
+			off += nl + 1
+		} else {
+			line = data[off:]
+			off = len(data)
+		}
+		line = trimEOL(line)
+		if len(line) == 0 {
+			continue
+		}
+		if len(line) > maxLineBytes {
+			res.oversized++
+			continue
+		}
+		if c.fast {
+			if ev, ok := d.DecodeRawBytes(line); ok {
+				res.fastHits++
+				res.events = append(res.events, ev)
+				idxs = append(idxs, idx)
+				continue
+			}
+			res.fastFallbacks++
+		}
+		ev, v := c.Classify(string(line))
+		switch v {
+		case VerdictEvent:
+			res.events = append(res.events, ev)
+			idxs = append(idxs, idx)
+		case VerdictNoHeader, VerdictChatter:
+			res.dropped++
+		default:
+			res.malformed++
+		}
+	}
+	c.Dropped += res.dropped
+	c.Malformed += res.malformed
+	c.Oversized += res.oversized
+	c.FastHits += res.fastHits
+	c.FastFallbacks += res.fastFallbacks
+	return res.events, idxs, nil
+}
+
 // parseShard walks one chunk line by line. It reads the correlator's
 // rule set but books all counters locally, so shards never write shared
 // state.

@@ -1,0 +1,112 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"titanre/internal/serve"
+)
+
+// TestClusterBenchHarness measures cluster ingest scaling: the same
+// corpus replayed losslessly into one titand, then through titanrouter
+// into a 4-replica fleet. It extends the BENCH_SERVE_OUT document the
+// ingest harness wrote with cluster_lines_per_sec and cluster_scaling
+// (cluster over single-daemon throughput). scripts/bench.sh runs it
+// after the ingest benchmark and gates scaling >= 2.5x on machines
+// with >= 4 cores; plain `go test` skips it.
+func TestClusterBenchHarness(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVE_OUT=path.json to run the cluster benchmark")
+	}
+
+	log := encodeLog(t, clusterSim())
+	corpus := make([]byte, 0, len(log)*6) // ~200k lines, matching the ingest harness
+	for i := 0; i < 6; i++ {
+		corpus = append(corpus, log...)
+	}
+
+	benchCfg := func() serve.Config {
+		cfg := serve.DefaultConfig()
+		cfg.RetainEvents = false // throughput is the subject, not snapshots
+		return cfg
+	}
+	shutdown := func(s *serve.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}
+
+	// Baseline: one daemon, lossless, as fast as it admits.
+	single := serve.NewServer(benchCfg())
+	singleURL := startReplica(t, single, "127.0.0.1:0")
+	singleStats := stream(t, singleURL, corpus, serve.StreamOptions{
+		BatchLines: 1024, Concurrency: 4, Retry429: true,
+	})
+	shutdown(single)
+	singleRate := singleStats.LinesPerSecond()
+	t.Logf("single daemon: %v", singleStats)
+
+	// Cluster: 4 replicas behind the router, same lossless replay. The
+	// QoS share is lifted out of the way — capacity, not isolation, is
+	// being measured.
+	const n = 4
+	replicas := make([]*serve.Server, n)
+	urls := make([]string, n)
+	for i := range replicas {
+		replicas[i] = serve.NewServer(benchCfg())
+		urls[i] = startReplica(t, replicas[i], "127.0.0.1:0")
+	}
+	rt, err := New(Config{Replicas: urls, SourceShareLines: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerURL := startRouter(t, rt)
+	clusterStats := stream(t, routerURL, corpus, serve.StreamOptions{
+		BatchLines: 1024, Concurrency: 4 * n, Retry429: true, Source: "bench",
+	})
+	for _, r := range replicas {
+		shutdown(r)
+	}
+	clusterRate := clusterStats.LinesPerSecond()
+	scaling := 0.0
+	if singleRate > 0 {
+		scaling = clusterRate / singleRate
+	}
+	t.Logf("cluster (%d replicas): %v", n, clusterStats)
+	t.Logf("scaling: %.2fx (single %.0f, cluster %.0f lines/s)", scaling, singleRate, clusterRate)
+
+	if clusterStats.LinesShed != 0 || clusterStats.LinesFailed != 0 {
+		t.Errorf("lossless cluster replay shed %d / failed %d lines",
+			clusterStats.LinesShed, clusterStats.LinesFailed)
+	}
+
+	// Extend the ingest harness's document in place.
+	doc := map[string]any{}
+	if data, err := os.ReadFile(out); err == nil && len(bytes.TrimSpace(data)) > 0 {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("parsing existing %s: %v", out, err)
+		}
+	}
+	doc["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	doc["num_cpu"] = runtime.NumCPU()
+	doc["cluster_replicas"] = n
+	doc["cluster_single_lines_per_sec"] = singleRate
+	doc["cluster_lines_per_sec"] = clusterRate
+	doc["cluster_scaling"] = scaling
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

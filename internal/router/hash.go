@@ -1,0 +1,62 @@
+package router
+
+import (
+	"titanre/internal/topology"
+)
+
+// Consistent placement of the node space.
+//
+// Every interned topology node is assigned to exactly one replica by
+// rendezvous (highest-random-weight) hashing: each replica's score for
+// a node is an FNV-1a hash of (replica name, node id), and the node
+// goes to the highest scorer. Rendezvous gives the two properties the
+// fleet needs without a virtual-node ring: placement depends only on
+// the replica name set (order-independent, no coordination state to
+// persist), and removing a replica moves only the nodes it owned —
+// every other node keeps its home, so warm replica caches and per-node
+// actor state stay put across membership changes.
+//
+// The node space is small (topology.TotalNodes, under twenty thousand)
+// and fixed at build time, so the whole map is precomputed into a flat
+// owners array: routing one console line is a cname decode plus one
+// array load, no hashing on the hot path.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// ownerScore is the rendezvous weight of one (replica, node) pair.
+func ownerScore(replica string, node topology.NodeID) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(replica); i++ {
+		h ^= uint64(replica[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(uint32(node)) & 0xff
+	h *= fnvPrime64
+	h ^= (uint64(uint32(node)) >> 8) & 0xff
+	h *= fnvPrime64
+	h ^= (uint64(uint32(node)) >> 16) & 0xff
+	h *= fnvPrime64
+	h ^= (uint64(uint32(node)) >> 24) & 0xff
+	h *= fnvPrime64
+	return h
+}
+
+// buildOwners precomputes the owning replica index for every node.
+func buildOwners(replicas []string) []uint8 {
+	owners := make([]uint8, topology.TotalNodes)
+	for node := range owners {
+		best, bestScore := 0, uint64(0)
+		for ri, name := range replicas {
+			// Ties (vanishingly rare with 64-bit scores) resolve to the
+			// lower index, deterministically, because iteration ascends.
+			if s := ownerScore(name, topology.NodeID(node)); s > bestScore {
+				best, bestScore = ri, s
+			}
+		}
+		owners[node] = uint8(best)
+	}
+	return owners
+}

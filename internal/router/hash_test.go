@@ -1,0 +1,69 @@
+package router
+
+import (
+	"testing"
+
+	"titanre/internal/topology"
+)
+
+func replicaNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "http://replica" + string(rune('a'+i)) + ":9123"
+	}
+	return names
+}
+
+// TestOwnersOrderIndependent: placement depends on the replica name
+// set, not the order the names were listed in.
+func TestOwnersOrderIndependent(t *testing.T) {
+	names := replicaNames(4)
+	fwd := buildOwners(names)
+	rev := buildOwners([]string{names[3], names[2], names[1], names[0]})
+	for node := range fwd {
+		if names[fwd[node]] != names[3-rev[node]] {
+			t.Fatalf("node %d: owner %q listed forward, %q listed reversed",
+				node, names[fwd[node]], names[3-rev[node]])
+		}
+	}
+}
+
+// TestOwnersMinimalMovement: removing one replica relocates only the
+// nodes it owned — every other node keeps its home.
+func TestOwnersMinimalMovement(t *testing.T) {
+	names := replicaNames(4)
+	before := buildOwners(names)
+	after := buildOwners(names[:3])
+	moved := 0
+	for node := range before {
+		if before[node] == 3 {
+			moved++
+			continue
+		}
+		if names[after[node]] != names[before[node]] {
+			t.Fatalf("node %d moved from %q to %q though its replica stayed",
+				node, names[before[node]], names[after[node]])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned nothing; the test checked nothing")
+	}
+}
+
+// TestOwnersBalanced: rendezvous hashing spreads the node space close
+// to evenly — no replica is starved or doubled up.
+func TestOwnersBalanced(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		counts := make([]int, n)
+		for _, o := range buildOwners(replicaNames(n)) {
+			counts[o]++
+		}
+		ideal := topology.TotalNodes / n
+		for ri, c := range counts {
+			if c < ideal/2 || c > ideal*2 {
+				t.Fatalf("%d replicas: replica %d owns %d nodes, ideal %d — out of 2x balance (%v)",
+					n, ri, c, ideal, counts)
+			}
+		}
+	}
+}

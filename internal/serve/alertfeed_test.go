@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"titanre/internal/alert"
+	"titanre/internal/console"
+)
+
+// TestFeedSupersetReplay is the collector's core theorem on real data:
+// recording every simulated event with its stream sequence and
+// replaying only the collected evidence through a fresh engine yields
+// the exact alert stream the full engine produced — and the evidence is
+// a strict subset of the stream.
+func TestFeedSupersetReplay(t *testing.T) {
+	events := simEvents()
+	cfg := alert.DefaultConfig()
+
+	full := alert.NewEngine(cfg)
+	full.Run(events)
+	var want []string
+	for _, a := range full.Alerts() {
+		want = append(want, a.String())
+	}
+	if len(want) == 0 {
+		t.Fatal("simulation raised no alerts; the equivalence check needs some")
+	}
+
+	feed := newAlertFeed(cfg)
+	for i, ev := range events {
+		feed.record(ev, uint64(i))
+	}
+	feed.mu.Lock()
+	records := feed.records()
+	feed.mu.Unlock()
+	if len(records) == 0 || len(records) >= len(events) {
+		t.Fatalf("collected %d evidence records over %d events; want a non-empty strict subset", len(records), len(events))
+	}
+	t.Logf("evidence: %d records over %d events (%.1f%%)", len(records), len(events), 100*float64(len(records))/float64(len(events)))
+
+	alerts, err := ReplayFeed(cfg, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != len(want) {
+		t.Fatalf("replayed %d alerts, want %d", len(alerts), len(want))
+	}
+	for i, a := range alerts {
+		if a.String() != want[i] {
+			t.Fatalf("alert %d: replay %q, want %q", i, a.String(), want[i])
+		}
+	}
+}
+
+// postTagged POSTs one batch with router-style sequence headers: base
+// plus a full mask over the batch's lines. Returns the next base.
+func postTagged(t *testing.T, url, source string, body []byte, base uint64) uint64 {
+	t.Helper()
+	lines := countLines(body)
+	mask := make([]uint64, (lines+63)/64)
+	for i := 0; i < lines; i++ {
+		mask[i/64] |= 1 << (i % 64)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SeqBaseHeader, strconv.FormatUint(base, 10))
+	req.Header.Set(SeqMaskHeader, base64.StdEncoding.EncodeToString(console.MaskBytes(mask)))
+	if source != "" {
+		req.Header.Set(SourceHeader, source)
+	}
+	for {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return base + uint64(lines)
+		case http.StatusTooManyRequests:
+			time.Sleep(5 * time.Millisecond)
+			req.Body = io.NopCloser(bytes.NewReader(body))
+		default:
+			t.Fatalf("POST /ingest: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// chunkLog splits a console log into batches of about batchLines lines.
+func chunkLog(log []byte, batchLines int) [][]byte {
+	var out [][]byte
+	start, lines := 0, 0
+	for i, b := range log {
+		if b == '\n' {
+			lines++
+			if lines >= batchLines {
+				out = append(out, log[start:i+1])
+				start, lines = i+1, 0
+			}
+		}
+	}
+	if start < len(log) {
+		out = append(out, log[start:])
+	}
+	return out
+}
+
+// TestAlertFeedRestart drives tagged ingest over HTTP, then restarts
+// the daemon from its shutdown snapshot and checks the feed survives:
+// still complete, still replaying to the exact single-engine alert
+// stream. An untagged batch afterwards must drop completeness.
+func TestAlertFeedRestart(t *testing.T) {
+	events := simEvents()
+	log := encodeLog(t, events)
+	dir := t.TempDir()
+
+	cfg := DefaultConfig()
+	cfg.SnapshotDir = dir
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+
+	base := uint64(0)
+	for _, batch := range chunkLog(log, 2048) {
+		base = postTagged(t, ts.URL, "feedtest", batch, base)
+	}
+	quiesce(t, s)
+
+	var doc FeedDoc
+	getJSON(t, ts.URL+"/alertfeed", &doc)
+	if !doc.Complete {
+		t.Fatalf("feed incomplete before restart: %+v", docSummary(doc))
+	}
+	if doc.CoveredEvents == 0 || doc.UntaggedEvents != 0 {
+		t.Fatalf("covered %d, untagged %d; want >0, 0", doc.CoveredEvents, doc.UntaggedEvents)
+	}
+
+	want := engineAlerts(t, events)
+	checkReplayMatches(t, doc, want)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// Warm restart from the snapshot directory.
+	s2 := testServer(t, cfg)
+	ws, err := s2.WarmStart(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Replayed == 0 {
+		t.Fatal("warm start replayed nothing")
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	var doc2 FeedDoc
+	getJSON(t, ts2.URL+"/alertfeed", &doc2)
+	if !doc2.Complete {
+		t.Fatalf("feed incomplete after restart: %+v", docSummary(doc2))
+	}
+	if doc2.CoveredEvents != doc.CoveredEvents {
+		t.Fatalf("covered %d after restart, want %d", doc2.CoveredEvents, doc.CoveredEvents)
+	}
+	checkReplayMatches(t, doc2, want)
+
+	// An untagged batch poisons completeness — the router must be told
+	// it can no longer vouch for exactness.
+	resp, err := http.Post(ts2.URL+"/ingest", "text/plain", bytes.NewReader(chunkLog(log, 64)[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	quiesce(t, s2)
+	var doc3 FeedDoc
+	getJSON(t, ts2.URL+"/alertfeed", &doc3)
+	if doc3.Complete || doc3.UntaggedEvents == 0 {
+		t.Fatalf("untagged ingest left feed complete=%v untagged=%d", doc3.Complete, doc3.UntaggedEvents)
+	}
+}
+
+func engineAlerts(t *testing.T, events []console.Event) []string {
+	t.Helper()
+	eng := alert.NewEngine(alert.DefaultConfig())
+	eng.Run(events)
+	var out []string
+	for _, a := range eng.Alerts() {
+		out = append(out, a.String())
+	}
+	if len(out) == 0 {
+		t.Fatal("engine raised no alerts")
+	}
+	return out
+}
+
+func checkReplayMatches(t *testing.T, doc FeedDoc, want []string) {
+	t.Helper()
+	alerts, err := ReplayFeed(doc.Config, doc.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != len(want) {
+		t.Fatalf("feed replay raised %d alerts, want %d", len(alerts), len(want))
+	}
+	for i, a := range alerts {
+		if a.String() != want[i] {
+			t.Fatalf("alert %d: feed replay %q, want %q", i, a.String(), want[i])
+		}
+	}
+}
+
+func docSummary(doc FeedDoc) string {
+	return fmt.Sprintf("complete=%v covered=%d untagged=%d records=%d",
+		doc.Complete, doc.CoveredEvents, doc.UntaggedEvents, len(doc.Records))
+}
+
+// TestPerSourceAccountingExact forces shedding with a one-batch queue
+// and stalled parse workers, then checks the books: for every source,
+// offered == accepted + shed in both lines and batches, and the
+// untracked (headerless) path books nothing.
+func TestPerSourceAccountingExact(t *testing.T) {
+	events := simEvents()
+	log := encodeLog(t, events[:4000])
+	batches := chunkLog(log, 256)
+
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 1
+	s := testServer(t, cfg)
+	gate := make(chan struct{})
+	s.StallForTest(gate)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type clientBooks struct{ offered, accepted, shed uint64 }
+	books := map[string]*clientBooks{"alpha": {}, "beta": {}}
+	post := func(source string, body []byte) {
+		lines := uint64(countLines(body))
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(SourceHeader, source)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		b := books[source]
+		b.offered += lines
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			b.accepted += lines
+		case http.StatusTooManyRequests:
+			b.shed += lines
+		default:
+			t.Fatalf("POST: status %d", resp.StatusCode)
+		}
+	}
+	for i, batch := range batches {
+		if i%2 == 0 {
+			post("alpha", batch)
+		} else {
+			post("beta", batch)
+		}
+	}
+	close(gate)
+	quiesce(t, s)
+
+	st := s.StatsNow()
+	shedTotal := uint64(0)
+	for name, b := range books {
+		got, ok := st.Sources[name]
+		if !ok {
+			t.Fatalf("no server books for source %q", name)
+		}
+		if got.OfferedLines != b.offered || got.AcceptedLines != b.accepted || got.ShedLines != b.shed {
+			t.Fatalf("source %q: server books offered/accepted/shed = %d/%d/%d, client saw %d/%d/%d",
+				name, got.OfferedLines, got.AcceptedLines, got.ShedLines, b.offered, b.accepted, b.shed)
+		}
+		if got.OfferedLines != got.AcceptedLines+got.ShedLines {
+			t.Fatalf("source %q: offered %d != accepted %d + shed %d",
+				name, got.OfferedLines, got.AcceptedLines, got.ShedLines)
+		}
+		if got.OfferedBatches != got.AcceptedBatches+got.ShedBatches {
+			t.Fatalf("source %q: batch books don't balance: %+v", name, got)
+		}
+		shedTotal += got.ShedLines
+	}
+	if shedTotal == 0 {
+		t.Fatal("no shedding happened; the exactness check never bit")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -160,6 +161,8 @@ func TestIngestBenchHarness(t *testing.T) {
 	}
 
 	doc := map[string]any{
+		"gomaxprocs":             runtime.GOMAXPROCS(0),
+		"num_cpu":                runtime.NumCPU(),
 		"lines":                  capStats.LinesRead,
 		"capacity_lines_per_sec": capacity,
 		"capacity_p99_ms":        float64(capStats.Percentile(99).Microseconds()) / 1000,

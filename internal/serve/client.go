@@ -44,6 +44,10 @@ type StreamOptions struct {
 	Retry429 bool
 	// RequestTimeout bounds one POST (default 30 s).
 	RequestTimeout time.Duration
+	// Source tags every batch with an X-Titan-Source header — the feed
+	// identity the router's per-source QoS and the replica's per-source
+	// accounting key on (empty = untagged).
+	Source string
 }
 
 // StreamStats is the client-side account of one replay.
@@ -245,6 +249,9 @@ func sendBatch(ctx context.Context, client *http.Client, url string, body []byte
 			return fmt.Errorf("serve: building request: %w", err)
 		}
 		req.Header.Set("Content-Type", "text/plain")
+		if opt.Source != "" {
+			req.Header.Set(SourceHeader, opt.Source)
+		}
 		t0 := time.Now()
 		resp, err := client.Do(req)
 		if err != nil {

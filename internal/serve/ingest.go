@@ -31,16 +31,25 @@ import (
 // client streaming a log in order through one connection gets exactly
 // the batch pipeline's alerts and warnings (TestStreamMatchesBatchHTTP).
 
-// batch is one admitted /ingest body.
+// batch is one admitted /ingest body. seqBase and positions are the
+// router's global line-sequence tags (see SeqBaseHeader): positions[j]
+// is the original-batch line index of the body's j-th line, so the
+// event decoded from line j carries global sequence seqBase +
+// positions[j]. positions == nil means an untagged direct ingest.
 type batch struct {
-	seq  uint64
-	data []byte
+	seq       uint64
+	data      []byte
+	seqBase   uint64
+	positions []int32
 }
 
-// parsed is a decoded batch en route to the applier.
+// parsed is a decoded batch en route to the applier. seqs (parallel to
+// events, nil when the batch was untagged) are the global sequence
+// numbers feeding the cluster alert-feed collector.
 type parsed struct {
 	seq    uint64
 	events []console.Event
+	seqs   []uint64
 }
 
 // ingestQueue is the bounded admission queue. Sequence numbers are
@@ -59,15 +68,16 @@ func newIngestQueue(depth int) *ingestQueue {
 }
 
 // offer admits data, returning ok=false when the queue is full (load
-// shed) and closed=true when the server is draining.
-func (q *ingestQueue) offer(data []byte) (ok, closed bool) {
+// shed) and closed=true when the server is draining. positions tags
+// the batch with global line sequences (nil for direct ingest).
+func (q *ingestQueue) offer(data []byte, seqBase uint64, positions []int32) (ok, closed bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false, true
 	}
 	select {
-	case q.ch <- batch{seq: q.next, data: data}:
+	case q.ch <- batch{seq: q.next, data: data, seqBase: seqBase, positions: positions}:
 		q.next++
 		return true, false
 	default:
@@ -93,7 +103,7 @@ func (q *ingestQueue) depth() int { return len(q.ch) }
 type reorder struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	ready map[uint64][]console.Event
+	ready map[uint64]parsed
 	next  uint64
 	// limit is one past the last seq that will ever arrive; set at
 	// drain time (^uint64(0) while the server is live).
@@ -101,14 +111,14 @@ type reorder struct {
 }
 
 func newReorder() *reorder {
-	r := &reorder{ready: make(map[uint64][]console.Event), limit: ^uint64(0)}
+	r := &reorder{ready: make(map[uint64]parsed), limit: ^uint64(0)}
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
 
 func (r *reorder) deliver(p parsed) {
 	r.mu.Lock()
-	r.ready[p.seq] = p.events
+	r.ready[p.seq] = p
 	r.mu.Unlock()
 	r.cond.Broadcast()
 }
@@ -123,17 +133,17 @@ func (r *reorder) seal(limit uint64) {
 
 // take blocks until the next in-order batch is available; ok=false means
 // the stream is sealed and fully drained.
-func (r *reorder) take() (events []console.Event, ok bool) {
+func (r *reorder) take() (p parsed, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
-		if evs, have := r.ready[r.next]; have {
+		if p, have := r.ready[r.next]; have {
 			delete(r.ready, r.next)
 			r.next++
-			return evs, true
+			return p, true
 		}
 		if r.next >= r.limit {
-			return nil, false
+			return parsed{}, false
 		}
 		r.cond.Wait()
 	}
@@ -151,7 +161,20 @@ func (s *Server) parseWorker() {
 		if g, _ := s.stallGate.Load().(chan struct{}); g != nil {
 			<-g
 		}
-		events, _ := c.ParseBytes(b.data, 1)
+		var events []console.Event
+		var seqs []uint64
+		if b.positions != nil {
+			// Seq-tagged sub-batch from the router: decode with line
+			// indices so each event maps back to its global sequence.
+			var idxs []int32
+			events, idxs, _ = c.ParseBytesIndexed(b.data)
+			seqs = make([]uint64, len(events))
+			for i, li := range idxs {
+				seqs[i] = b.seqBase + uint64(b.positions[li])
+			}
+		} else {
+			events, _ = c.ParseBytes(b.data, 1)
+		}
 		s.metrics.linesAccepted.Add(uint64(countLines(b.data)))
 		s.metrics.events.Add(uint64(len(events)))
 		s.metrics.dropped.Add(uint64(c.Dropped - prevDropped))
@@ -161,7 +184,7 @@ func (s *Server) parseWorker() {
 		s.metrics.fastFallbacks.Add(uint64(c.FastFallbacks - prevFallbacks))
 		prevDropped, prevMalformed, prevOversized = c.Dropped, c.Malformed, c.Oversized
 		prevHits, prevFallbacks = c.FastHits, c.FastFallbacks
-		s.reorder.deliver(parsed{seq: b.seq, events: events})
+		s.reorder.deliver(parsed{seq: b.seq, events: events, seqs: seqs})
 	}
 }
 
@@ -189,10 +212,11 @@ func (s *Server) applier() {
 	defer s.applyWG.Done()
 	var raw []byte
 	for {
-		events, ok := s.reorder.take()
+		p, ok := s.reorder.take()
 		if !ok {
 			return
 		}
+		events := p.events
 		if len(events) == 0 {
 			s.appliedBatches.Add(1)
 			continue
@@ -212,6 +236,19 @@ func (s *Server) applier() {
 			}
 		}
 		s.stateMu.Unlock()
+		if s.feed != nil {
+			// The cluster alert-feed collector books every applied
+			// event: tagged events carry their global sequence, an
+			// untagged event taints completeness (the router can no
+			// longer prove global replay exactness).
+			if p.seqs != nil {
+				for i, ev := range events {
+					s.feed.record(ev, p.seqs[i])
+				}
+			} else {
+				s.feed.markUntagged(len(events))
+			}
+		}
 		for _, ev := range events {
 			s.shards.dispatch(ev)
 		}

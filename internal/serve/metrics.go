@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -105,6 +106,9 @@ type snapshotGauges struct {
 	eventsLost       uint64
 	sealedSeq        uint64
 	journal          *JournalStats
+
+	// Per-source ingest accounting (X-Titan-Source tagged batches).
+	sources map[string]SourceStats
 }
 
 // write renders the Prometheus text exposition. Counter names follow the
@@ -153,6 +157,28 @@ func (m *metrics) write(w io.Writer, g snapshotGauges, now time.Time) error {
 		}
 		gauge("titand_journal_wedged", "1 while the journal is wedged by an append failure (recovers at the next rotation).", wedged)
 		gauge("titand_journal_next_seq", "Global sequence the next journaled event receives.", float64(g.journal.NextSeq))
+	}
+
+	// Per-source admission accounting, one labeled series per source,
+	// rendered in sorted order so the exposition is byte-stable.
+	if len(g.sources) > 0 {
+		names := make([]string, 0, len(g.sources))
+		for name := range g.sources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		srcCounter := func(name, help string, value func(SourceStats) uint64) {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, src := range names {
+				fmt.Fprintf(bw, "%s{source=%q} %d\n", name, src, value(g.sources[src]))
+			}
+		}
+		srcCounter("titand_source_lines_offered_total", "Console lines offered by each X-Titan-Source feed.", func(s SourceStats) uint64 { return s.OfferedLines })
+		srcCounter("titand_source_lines_accepted_total", "Console lines admitted per source.", func(s SourceStats) uint64 { return s.AcceptedLines })
+		srcCounter("titand_source_lines_shed_total", "Console lines shed per source (exact; offered = accepted + shed).", func(s SourceStats) uint64 { return s.ShedLines })
+		srcCounter("titand_source_batches_offered_total", "Batches offered per source.", func(s SourceStats) uint64 { return s.OfferedBatches })
+		srcCounter("titand_source_batches_accepted_total", "Batches admitted per source.", func(s SourceStats) uint64 { return s.AcceptedBatches })
+		srcCounter("titand_source_batches_shed_total", "Batches shed per source.", func(s SourceStats) uint64 { return s.ShedBatches })
 	}
 
 	// Ingest latency histogram.

@@ -178,6 +178,16 @@ func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request) {
 	}
 
 	segs, tail := s.historyView()
+	if wantPartial(r) {
+		acc, err := store.ParallelRollupAcc(segs, tail, spec, m, 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.metrics.queryRollup.Add(1)
+		writeJSON(w, acc.Partial())
+		return
+	}
 	doc, err := store.ParallelRollup(segs, tail, spec, m, 0)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -185,6 +195,13 @@ func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.queryRollup.Add(1)
 	writeJSON(w, doc)
+}
+
+// wantPartial reports whether the caller asked for the raw accumulator
+// instead of the rendered document (?partial=1) — the replica side of a
+// cluster query, merged by titanrouter with the store Merge kernels.
+func wantPartial(r *http.Request) bool {
+	return r.URL.Query().Get("partial") == "1"
 }
 
 // parseWhereParams reads the optional ?cabinet= / ?cage= / ?node=
@@ -245,6 +262,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	segs, tail := s.historyView()
+	if wantPartial(r) {
+		part, err := compiled.ExecutePartial(segs, tail, 0)
+		if err != nil {
+			s.metrics.queryErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, part)
+		return
+	}
 	doc, err := compiled.Execute(segs, tail, 0)
 	if err != nil {
 		s.metrics.queryErrors.Add(1)
@@ -287,6 +314,16 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 
 	segs, tail := s.historyView()
+	if wantPartial(r) {
+		acc, err := store.ParallelTopAcc(segs, tail, spec, nil, 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.metrics.queryTop.Add(1)
+		writeJSON(w, acc.Partial())
+		return
+	}
 	doc, err := store.TopSegments(segs, tail, spec)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -16,6 +16,7 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +106,13 @@ type Config struct {
 	JournalSyncInterval time.Duration
 	// JournalRotateBytes caps one journal file (default 4 MiB).
 	JournalRotateBytes int64
+	// AlertFeed enables the cluster alert-feed collector: every applied
+	// event tagged with a router-assigned global sequence contributes
+	// evidence to GET /alertfeed, which a titanrouter merges across
+	// replicas and replays into the exact single-daemon alert stream
+	// (see alertfeed.go). DefaultConfig enables it; the collector costs
+	// nothing measurable unless sequence-tagged batches arrive.
+	AlertFeed bool
 }
 
 // DefaultConfig returns the production defaults.
@@ -119,6 +128,7 @@ func DefaultConfig() Config {
 		Alerts:          alert.DefaultConfig(),
 		RetainEvents:    true,
 		MmapSegments:    true,
+		AlertFeed:       true,
 	}
 }
 
@@ -171,6 +181,13 @@ type Server struct {
 	recovMu    sync.Mutex
 	recovery   store.Recovery
 	eventsLost uint64
+
+	// feed is the cluster alert-feed collector (nil unless
+	// Config.AlertFeed); sources is the per-source ingest accounting
+	// keyed by the X-Titan-Source header.
+	feed      *alertFeed
+	sourcesMu sync.Mutex
+	sources   map[string]*sourceCounters
 
 	parseWG sync.WaitGroup
 	applyWG sync.WaitGroup
@@ -236,6 +253,10 @@ func NewServer(cfg Config) *Server {
 		shards:      newShardSet(cfg.Shards, cfg.RateWindow, cfg.ShardQueueDepth),
 		alertEngine: alert.NewEngine(cfg.Alerts),
 		codeTotals:  make(map[xid.Code]int),
+		sources:     make(map[string]*sourceCounters),
+	}
+	if cfg.AlertFeed {
+		s.feed = newAlertFeed(cfg.Alerts)
 	}
 	if cfg.Model != nil {
 		s.warner = predict.NewWarner(cfg.Model)
@@ -261,6 +282,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /top", s.handleTop)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /alertfeed", s.handleAlertFeed)
 	s.mux.HandleFunc("GET /warnings", s.handleWarnings)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -363,6 +385,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := s.WriteSnapshot(s.cfg.SnapshotDir); err != nil {
 			return err
 		}
+		if s.feed != nil {
+			// The collector persists beside the event snapshot so a warm
+			// restart resumes with cluster alert evidence intact; the
+			// drain above already applied everything admitted, so the
+			// snapshot's covered count equals the replayable history.
+			if err := s.feed.writeSnapshot(s.cfg.SnapshotDir); err != nil {
+				return err
+			}
+		}
 	}
 	// The journal closes last: the final seal above already advanced the
 	// floor past everything it held, so after a clean shutdown a warm
@@ -407,6 +438,13 @@ func (s *Server) Journal() *Journal { return s.journal.Load() }
 // handleIngest admits one newline-delimited batch of console lines.
 // 202: admitted; 429: load shed (body X-Shed-Lines counts the discarded
 // lines); 503: draining; 400/413: malformed.
+//
+// Three optional headers extend the contract for cluster operation:
+// X-Titan-Source tags the batch's feed for per-source accounting, and
+// X-Titan-Seq-Base / X-Titan-Seq-Mask carry the router's global line
+// sequencing (both or neither; the mask popcount must equal the body's
+// line count, else 400 — a split/seq disagreement must never be
+// silently mis-sequenced).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -425,23 +463,122 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
-	ok, closed := s.queue.offer(body)
+	lines := countLines(body)
+	seqBase, positions, err := parseSeqHeaders(r, lines)
+	if err != nil {
+		s.metrics.batchesRejected.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	source := r.Header.Get(SourceHeader)
+	ok, closed := s.queue.offer(body, seqBase, positions)
 	switch {
 	case ok:
 		s.metrics.batchesAccepted.Add(1)
+		s.bookSource(source, lines, true)
 		s.metrics.observeLatency(time.Since(t0))
 		w.WriteHeader(http.StatusAccepted)
 	case closed:
 		s.metrics.batchesRejected.Add(1)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 	default:
-		shed := countLines(body)
 		s.metrics.batchesShed.Add(1)
-		s.metrics.linesShed.Add(uint64(shed))
+		s.metrics.linesShed.Add(uint64(lines))
+		s.bookSource(source, lines, false)
 		w.Header().Set("Retry-After", "1")
-		w.Header().Set("X-Shed-Lines", fmt.Sprint(shed))
+		w.Header().Set("X-Shed-Lines", fmt.Sprint(lines))
 		http.Error(w, "ingest queue full, batch shed", http.StatusTooManyRequests)
 	}
+}
+
+// parseSeqHeaders reads the router's sequence tagging. Returns a nil
+// positions slice when the batch is untagged.
+func parseSeqHeaders(r *http.Request, lines int) (uint64, []int32, error) {
+	baseStr := r.Header.Get(SeqBaseHeader)
+	maskStr := r.Header.Get(SeqMaskHeader)
+	if baseStr == "" && maskStr == "" {
+		return 0, nil, nil
+	}
+	if baseStr == "" || maskStr == "" {
+		return 0, nil, fmt.Errorf("%s and %s must be set together", SeqBaseHeader, SeqMaskHeader)
+	}
+	base, err := strconv.ParseUint(baseStr, 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad %s %q: %v", SeqBaseHeader, baseStr, err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(maskStr)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad %s: %v", SeqMaskHeader, err)
+	}
+	mask := console.MaskFromBytes(raw)
+	if got := console.MaskCount(mask); got != lines {
+		return 0, nil, fmt.Errorf("%s popcount %d != body line count %d", SeqMaskHeader, got, lines)
+	}
+	return base, console.MaskPositions(mask), nil
+}
+
+// sourceCounters is the per-source ingest accounting; the invariant
+// offered == accepted + shed holds exactly (503 drain responses are
+// booked in neither — the batch was never offered to the queue and the
+// client retries it).
+type sourceCounters struct {
+	offeredBatches, acceptedBatches, shedBatches uint64
+	offeredLines, acceptedLines, shedLines       uint64
+}
+
+// bookSource books one admission decision against the batch's source.
+// Untagged batches (no X-Titan-Source) are not tracked.
+func (s *Server) bookSource(source string, lines int, accepted bool) {
+	if source == "" {
+		return
+	}
+	s.sourcesMu.Lock()
+	defer s.sourcesMu.Unlock()
+	sc := s.sources[source]
+	if sc == nil {
+		sc = &sourceCounters{}
+		s.sources[source] = sc
+	}
+	sc.offeredBatches++
+	sc.offeredLines += uint64(lines)
+	if accepted {
+		sc.acceptedBatches++
+		sc.acceptedLines += uint64(lines)
+	} else {
+		sc.shedBatches++
+		sc.shedLines += uint64(lines)
+	}
+}
+
+// SourceStats is the per-source slice of /stats.
+type SourceStats struct {
+	OfferedBatches  uint64 `json:"offered_batches"`
+	AcceptedBatches uint64 `json:"accepted_batches"`
+	ShedBatches     uint64 `json:"shed_batches"`
+	OfferedLines    uint64 `json:"offered_lines"`
+	AcceptedLines   uint64 `json:"accepted_lines"`
+	ShedLines       uint64 `json:"shed_lines"`
+}
+
+// sourceStats snapshots the per-source accounting.
+func (s *Server) sourceStats() map[string]SourceStats {
+	s.sourcesMu.Lock()
+	defer s.sourcesMu.Unlock()
+	if len(s.sources) == 0 {
+		return nil
+	}
+	out := make(map[string]SourceStats, len(s.sources))
+	for name, sc := range s.sources {
+		out[name] = SourceStats{
+			OfferedBatches:  sc.offeredBatches,
+			AcceptedBatches: sc.acceptedBatches,
+			ShedBatches:     sc.shedBatches,
+			OfferedLines:    sc.offeredLines,
+			AcceptedLines:   sc.acceptedLines,
+			ShedLines:       sc.shedLines,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
@@ -586,6 +723,13 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	s.stateMu.Lock()
 	alerts := s.alertEngine.Alerts()
 	s.stateMu.Unlock()
+	writeJSON(w, AlertViews(alerts))
+}
+
+// AlertViews renders raised alerts into the /alerts JSON shape — shared
+// with the router, whose merged cluster alert stream must be
+// byte-identical to a single daemon's response.
+func AlertViews(alerts []alert.Alert) []AlertView {
 	views := make([]AlertView, 0, len(alerts))
 	for _, a := range alerts {
 		v := AlertView{
@@ -602,7 +746,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		}
 		views = append(views, v)
 	}
-	writeJSON(w, views)
+	return views
 }
 
 // WarningView is the JSON shape of one issued precursor warning.
@@ -698,6 +842,10 @@ type Stats struct {
 
 	// Journal is present when the write-ahead journal is active.
 	Journal *JournalStats `json:"journal,omitempty"`
+
+	// Sources is the per-source ingest accounting (batches tagged with
+	// X-Titan-Source); offered == accepted + shed holds per source.
+	Sources map[string]SourceStats `json:"sources,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -762,6 +910,7 @@ func (s *Server) StatsNow() Stats {
 		js := j.Stats()
 		st.Journal = &js
 	}
+	st.Sources = s.sourceStats()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	st.HeapInuseBytes = ms.HeapInuse
@@ -821,6 +970,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		js := j.Stats()
 		g.journal = &js
 	}
+	g.sources = s.sourceStats()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	g.heapInuse = ms.HeapInuse
@@ -931,6 +1081,11 @@ func (s *Server) Quiesce(ctx context.Context) error {
 func (s *Server) stallForTest(gate chan struct{}) {
 	s.stallGate.Store(gate)
 }
+
+// StallForTest is the exported face of stallForTest: harnesses outside
+// this package (the router's drain soak, the cluster bench) use it to
+// meter a replica's parse rate deterministically.
+func (s *Server) StallForTest(gate chan struct{}) { s.stallForTest(gate) }
 
 // String renders a one-line summary for logs.
 func (s *Server) String() string {

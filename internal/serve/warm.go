@@ -151,6 +151,9 @@ func (s *Server) WarmStart(dir string) (WarmStats, error) {
 			if journal != nil {
 				s.journal.Store(journal)
 			}
+			if err := s.loadFeedSnapshot(dir, 0); err != nil {
+				return ws, err
+			}
 			return ws, nil // cold start
 		}
 		if err != nil {
@@ -236,6 +239,14 @@ func (s *Server) WarmStart(dir string) (WarmStats, error) {
 	}
 	if journal != nil {
 		s.journal.Store(journal)
+	}
+	// Restore the cluster alert-feed collector and reconcile it against
+	// what was actually replayed: a clean shutdown's snapshot covers the
+	// replay exactly, a crash (journal tail applied after the snapshot
+	// was last written) shows up as a covered-count mismatch and marks
+	// the feed incomplete rather than silently wrong.
+	if err := s.loadFeedSnapshot(dir, ws.Replayed+ws.JournalReplayed); err != nil {
+		return ws, err
 	}
 	return ws, nil
 }

@@ -39,9 +39,21 @@ func queryWorkers(workers, segs int) int {
 // tail through the identical kernel. workers <= 0 uses GOMAXPROCS; the
 // rendered document is byte-identical at any width.
 func ParallelRollup(segs []*Segment, tail []console.Event, spec RollupSpec, m *Matcher, workers int) (RollupDoc, error) {
-	root, err := NewRollup(spec)
+	root, err := ParallelRollupAcc(segs, tail, spec, m, workers)
 	if err != nil {
 		return RollupDoc{}, err
+	}
+	return root.Doc(), nil
+}
+
+// ParallelRollupAcc is ParallelRollup stopping short of the render: it
+// returns the merged accumulator itself, for callers that need the raw
+// cells — the replica side of a cluster query exports them as a
+// RollupPartial for the router to merge.
+func ParallelRollupAcc(segs []*Segment, tail []console.Event, spec RollupSpec, m *Matcher, workers int) (*Rollup, error) {
+	root, err := NewRollup(spec)
+	if err != nil {
+		return nil, err
 	}
 	workers = queryWorkers(workers, len(segs))
 	if workers <= 1 {
@@ -74,16 +86,26 @@ func ParallelRollup(segs []*Segment, tail []console.Event, spec RollupSpec, m *M
 		}
 	}
 	root.AddEventsWhere(tail, m)
-	return root.Doc(), nil
+	return root, nil
 }
 
 // ParallelTop evaluates one offender ranking over sealed segments
 // concurrently, restricted to rows matching m (nil = all), then folds
 // the retained tail. Byte-identical at any worker count.
 func ParallelTop(segs []*Segment, tail []console.Event, spec TopSpec, m *Matcher, workers int) (TopDoc, error) {
-	root, err := NewTop(spec)
+	root, err := ParallelTopAcc(segs, tail, spec, m, workers)
 	if err != nil {
 		return TopDoc{}, err
+	}
+	return root.Doc(), nil
+}
+
+// ParallelTopAcc is ParallelTop stopping short of the render (see
+// ParallelRollupAcc).
+func ParallelTopAcc(segs []*Segment, tail []console.Event, spec TopSpec, m *Matcher, workers int) (*Top, error) {
+	root, err := NewTop(spec)
+	if err != nil {
+		return nil, err
 	}
 	workers = queryWorkers(workers, len(segs))
 	if workers <= 1 {
@@ -115,5 +137,5 @@ func ParallelTop(segs []*Segment, tail []console.Event, spec TopSpec, m *Matcher
 		}
 	}
 	root.AddEventsWhere(tail, m)
-	return root.Doc(), nil
+	return root, nil
 }

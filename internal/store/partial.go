@@ -1,0 +1,180 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Raw partial aggregates — the cross-replica face of the Merge kernels.
+//
+// A rendered RollupDoc or TopDoc cannot be merged: rendering collapses
+// the numeric keys into display strings and (for Top) truncates to K.
+// When a router fans a query out to N replicas, each replica must
+// instead return its accumulator's raw cells, and the router merges
+// those with the same commutative/associative kernel the
+// segment-parallel executor uses — replicas and segments are the same
+// merge problem. RollupPartial and TopPartial are that wire shape:
+// numeric, canonically sorted, JSON-round-trippable, and convertible
+// back into an accumulator whose Doc() is byte-identical to a single
+// store that held all the rows.
+
+// RollupPartialCell is one raw rollup cell: the group-by coordinates
+// exactly as the accumulator keys them, plus the count.
+type RollupPartialCell struct {
+	Bucket int64 `json:"bucket"`
+	Code   int16 `json:"code,omitempty"`
+	Cab    int16 `json:"cab,omitempty"`
+	Cage   int8  `json:"cage,omitempty"`
+	Node   int32 `json:"node,omitempty"`
+	Count  int64 `json:"count"`
+}
+
+// RollupPartial is a Rollup accumulator in wire form.
+type RollupPartial struct {
+	Spec  RollupSpec          `json:"spec"`
+	Total int64               `json:"total"`
+	Cells []RollupPartialCell `json:"cells"`
+}
+
+// Partial exports the accumulator's raw cells, canonically sorted.
+func (r *Rollup) Partial() RollupPartial {
+	p := RollupPartial{Spec: r.spec, Total: r.total, Cells: make([]RollupPartialCell, 0, len(r.cells))}
+	for k, v := range r.cells {
+		p.Cells = append(p.Cells, RollupPartialCell{Bucket: k.bucket, Code: k.code, Cab: k.cab, Cage: k.cage, Node: k.node, Count: v})
+	}
+	sort.Slice(p.Cells, func(i, j int) bool {
+		a, b := p.Cells[i], p.Cells[j]
+		if a.Bucket != b.Bucket {
+			return a.Bucket < b.Bucket
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Cab != b.Cab {
+			return a.Cab < b.Cab
+		}
+		if a.Cage != b.Cage {
+			return a.Cage < b.Cage
+		}
+		return a.Node < b.Node
+	})
+	return p
+}
+
+// specEqual compares rollup specs field-wise. Time bounds compare with
+// Equal, not ==: JSON round-tripping may change the wall-clock
+// representation (monotonic clock stripped, location renamed) without
+// changing the instant.
+func rollupSpecEqual(a, b RollupSpec) bool {
+	return a.ByCode == b.ByCode && a.ByCabinet == b.ByCabinet &&
+		a.ByCage == b.ByCage && a.ByNode == b.ByNode &&
+		a.Bucket == b.Bucket && a.FilterCode == b.FilterCode &&
+		a.Code == b.Code && a.Since.Equal(b.Since) && a.Until.Equal(b.Until)
+}
+
+// MergeRollupPartials folds partials from replicas (or any other
+// disjoint row owners) back into one accumulator. All partials must
+// carry the same spec; the merged accumulator's Doc() is byte-identical
+// to a single accumulator fed every underlying row, in any order.
+func MergeRollupPartials(parts []RollupPartial) (*Rollup, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("store: merge rollup: no partials")
+	}
+	for i := 1; i < len(parts); i++ {
+		if !rollupSpecEqual(parts[0].Spec, parts[i].Spec) {
+			return nil, fmt.Errorf("store: merge rollup: partial %d spec differs", i)
+		}
+	}
+	root, err := NewRollup(parts[0].Spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		for _, c := range p.Cells {
+			root.cells[rollupKey{bucket: c.Bucket, code: c.Code, cab: c.Cab, cage: c.Cage, node: c.Node}] += c.Count
+		}
+		root.total += p.Total
+	}
+	return root, nil
+}
+
+// TopPartialAgg is one raw offender aggregate.
+type TopPartialAgg struct {
+	Key    uint64          `json:"key"`
+	Count  int64           `json:"count"`
+	First  int64           `json:"first"`
+	Last   int64           `json:"last"`
+	ByCode map[int16]int64 `json:"by_code,omitempty"`
+}
+
+// TopPartial is a Top accumulator in wire form. Unlike TopDoc it
+// carries every key, not the top K — ranking truncation is only valid
+// after the global merge.
+type TopPartial struct {
+	Spec  TopSpec         `json:"spec"`
+	Total int64           `json:"total"`
+	Aggs  []TopPartialAgg `json:"aggs"`
+}
+
+// Partial exports the accumulator's raw aggregates, sorted by key.
+func (t *Top) Partial() TopPartial {
+	p := TopPartial{Spec: t.spec, Total: t.total, Aggs: make([]TopPartialAgg, 0, len(t.aggs))}
+	for key, agg := range t.aggs {
+		pa := TopPartialAgg{Key: key, Count: agg.count, First: agg.first, Last: agg.last}
+		if len(agg.byCode) > 0 {
+			pa.ByCode = agg.byCode
+		}
+		p.Aggs = append(p.Aggs, pa)
+	}
+	sort.Slice(p.Aggs, func(i, j int) bool { return p.Aggs[i].Key < p.Aggs[j].Key })
+	return p
+}
+
+func topSpecEqual(a, b TopSpec) bool {
+	return a.By == b.By && a.K == b.K && a.FilterCode == b.FilterCode &&
+		a.Code == b.Code && a.Since.Equal(b.Since) && a.Until.Equal(b.Until)
+}
+
+// MergeTopPartials folds per-replica offender partials back into one
+// accumulator (same contract as MergeRollupPartials).
+func MergeTopPartials(parts []TopPartial) (*Top, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("store: merge top: no partials")
+	}
+	for i := 1; i < len(parts); i++ {
+		if !topSpecEqual(parts[0].Spec, parts[i].Spec) {
+			return nil, fmt.Errorf("store: merge top: partial %d spec differs", i)
+		}
+	}
+	root, err := NewTop(parts[0].Spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		for _, pa := range p.Aggs {
+			agg := root.aggs[pa.Key]
+			if agg == nil {
+				agg = &topAgg{first: pa.First, last: pa.Last}
+				// addRow only materializes per-code breakdowns for
+				// non-code dimensions; mirror that so a later Merge
+				// never writes into a nil map.
+				if root.spec.By != TopByCode {
+					agg.byCode = make(map[int16]int64, len(pa.ByCode))
+				}
+				root.aggs[pa.Key] = agg
+			}
+			agg.count += pa.Count
+			if pa.First < agg.first {
+				agg.first = pa.First
+			}
+			if pa.Last > agg.last {
+				agg.last = pa.Last
+			}
+			for code, n := range pa.ByCode {
+				agg.byCode[code] += n
+			}
+		}
+		root.total += p.Total
+	}
+	return root, nil
+}

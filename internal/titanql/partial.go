@@ -1,0 +1,104 @@
+package titanql
+
+import (
+	"fmt"
+
+	"titanre/internal/console"
+	"titanre/internal/store"
+)
+
+// Cluster-side query execution. A router fanning one query out to N
+// replicas cannot merge rendered Docs — rank truncation and string
+// rendering are only valid after the global fold. ExecutePartial is
+// Execute stopping short of both: it runs the compiled plan over the
+// replica's own rows and exports the raw accumulator. MergePartials is
+// the router's other half: fold the partials with the store Merge
+// kernels, then rank and render exactly as a single Execute would have.
+// For rows partitioned across replicas in any way, the merged Doc is
+// byte-identical to Execute over the union — the cluster face of the
+// standing equivalence gate.
+
+// Partial is one replica's share of a query: the canonical query
+// echo, the rank bound (applied only after merging), and the raw
+// accumulator matching the plan kind.
+type Partial struct {
+	Query     string               `json:"query"`
+	RankedTop int                  `json:"ranked_top,omitempty"`
+	Rollup    *store.RollupPartial `json:"rollup,omitempty"`
+	Top       *store.TopPartial    `json:"top,omitempty"`
+}
+
+// ExecutePartial runs the compiled plan over one consistent snapshot
+// and exports the unrendered, unranked accumulator.
+func (c *Compiled) ExecutePartial(segs []*store.Segment, tail []console.Event, workers int) (Partial, error) {
+	p := Partial{Query: c.query}
+	if c.plan.Kind == KindTop {
+		top, err := store.ParallelTopAcc(segs, tail, c.top, c.matcher, workers)
+		if err != nil {
+			return Partial{}, err
+		}
+		tp := top.Partial()
+		p.Top = &tp
+		return p, nil
+	}
+	roll, err := store.ParallelRollupAcc(segs, tail, c.rollup, c.matcher, workers)
+	if err != nil {
+		return Partial{}, err
+	}
+	rp := roll.Partial()
+	p.RankedTop = c.plan.RankK
+	p.Rollup = &rp
+	return p, nil
+}
+
+// MergePartials folds per-replica partials of one query into the final
+// document. All partials must agree on the query and plan kind (they
+// were produced by the same compiled plan on every replica); ranking is
+// applied after the merge, which is the only point it is sound.
+func MergePartials(parts []Partial) (Doc, error) {
+	if len(parts) == 0 {
+		return Doc{}, fmt.Errorf("titanql: merge: no partials")
+	}
+	first := parts[0]
+	for i := 1; i < len(parts); i++ {
+		if parts[i].Query != first.Query {
+			return Doc{}, fmt.Errorf("titanql: merge: partial %d query %q != %q", i, parts[i].Query, first.Query)
+		}
+		if parts[i].RankedTop != first.RankedTop {
+			return Doc{}, fmt.Errorf("titanql: merge: partial %d rank bound %d != %d", i, parts[i].RankedTop, first.RankedTop)
+		}
+		if (parts[i].Top == nil) != (first.Top == nil) || (parts[i].Rollup == nil) != (first.Rollup == nil) {
+			return Doc{}, fmt.Errorf("titanql: merge: partial %d plan kind differs", i)
+		}
+	}
+	doc := Doc{Query: first.Query}
+	if first.Top != nil {
+		tps := make([]store.TopPartial, len(parts))
+		for i, p := range parts {
+			tps[i] = *p.Top
+		}
+		top, err := store.MergeTopPartials(tps)
+		if err != nil {
+			return Doc{}, fmt.Errorf("titanql: merge: %w", err)
+		}
+		d := top.Doc()
+		doc.Top = &d
+		return doc, nil
+	}
+	if first.Rollup == nil {
+		return Doc{}, fmt.Errorf("titanql: merge: partials carry no accumulator")
+	}
+	rps := make([]store.RollupPartial, len(parts))
+	for i, p := range parts {
+		rps[i] = *p.Rollup
+	}
+	roll, err := store.MergeRollupPartials(rps)
+	if err != nil {
+		return Doc{}, fmt.Errorf("titanql: merge: %w", err)
+	}
+	d := roll.Doc()
+	rankCells(&d, first.RankedTop)
+	doc.RankedTop = first.RankedTop
+	doc.Rollup = &d
+	return doc, nil
+}

@@ -17,6 +17,15 @@
 # the 100k lines/s capacity floor and this script holds the default
 # interval policy to the same floor.
 #
+# The cluster phase (internal/router harness) replays the same corpus
+# through titanrouter into a 4-replica titand fleet and records
+# cluster_lines_per_sec and cluster_scaling (cluster over single-daemon
+# throughput) into BENCH_serve.json. On machines with >= 4 cores the
+# scaling must clear 2.5x; on smaller boxes the replicas timeshare one
+# core, so the figure is recorded informationally. Every BENCH_*.json
+# carries gomaxprocs/num_cpu so figures are read against the hardware
+# that produced them.
+#
 # Finally runs the columnar store benchmarks (BenchmarkLoadColumnar,
 # BenchmarkScanCode) plus the store memory harness, records them in
 # BENCH_store.json (load ns/op, bytes/op, allocs/op; scan MB/s;
@@ -51,6 +60,8 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${BENCH_OUT:-BENCH_io.json}"
+CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+MAXPROCS="${GOMAXPROCS:-$CORES}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -64,7 +75,7 @@ go test ./internal/dataset -run '^$' \
     -bench '^(BenchmarkLoadSerial|BenchmarkLoadParallel)$' \
     -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
 
-awk '
+awk -v gomaxprocs="$MAXPROCS" -v numcpu="$CORES" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
@@ -77,11 +88,16 @@ awk '
     }
     if (ns == "") next
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
         name, ns, (mbs == "" ? "null" : mbs), (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
 }
-BEGIN { printf "[\n" }
-END   { printf "\n]\n" }
+BEGIN {
+    printf "{\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"num_cpu\": %s,\n", numcpu
+    printf "  \"benchmarks\": [\n"
+}
+END   { printf "\n  ]\n}\n" }
 ' "$RAW" > "$OUT"
 
 echo "== wrote $OUT"
@@ -134,6 +150,39 @@ if [ "${JRATE%%.*}" -lt "$JOURNAL_FLOOR" ]; then
 fi
 echo "== journaled ingest (fsync interval): $JRATE lines/s (floor $JOURNAL_FLOOR)"
 
+echo "== titanfleet cluster benchmark (4 replicas behind titanrouter)"
+CLUSTER_RAW="$(mktemp)"
+if ! BENCH_SERVE_OUT="$SERVE_OUT" go test ./internal/router \
+        -run '^TestClusterBenchHarness$' -count=1 -v > "$CLUSTER_RAW" 2>&1; then
+    cat "$CLUSTER_RAW" >&2
+    rm -f "$CLUSTER_RAW"
+    exit 1
+fi
+grep -E 'single daemon:|cluster \(|scaling:' "$CLUSTER_RAW" || true
+rm -f "$CLUSTER_RAW"
+echo "== extended $SERVE_OUT"
+
+# Cluster scaling gate: on >= 4 cores, four replicas behind the router
+# must clear 2.5x the single-daemon ingest rate (the split/fan-out path
+# must not eat the parallelism it buys). On smaller machines the
+# replicas timeshare one core and the router only adds a hop, so the
+# figure is recorded informationally.
+SCALING=$(awk -F'"cluster_scaling": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$SERVE_OUT")
+CRATE=$(awk -F'"cluster_lines_per_sec": ' 'NF > 1 { sub(/[,}].*/, "", $2); print $2 }' "$SERVE_OUT")
+if [ -z "$SCALING" ] || [ "$SCALING" = "null" ]; then
+    echo "bench.sh: cluster_scaling missing from $SERVE_OUT" >&2
+    exit 1
+fi
+if [ "$CORES" -ge 4 ]; then
+    if ! awk -v s="$SCALING" 'BEGIN { exit !(s >= 2.5) }'; then
+        echo "bench.sh: cluster scaling ${SCALING}x on $CORES cores, gate is 2.5x ($CRATE lines/s)" >&2
+        exit 1
+    fi
+    echo "== cluster ingest: $CRATE lines/s, scaling ${SCALING}x on $CORES cores (gate >= 2.5x)"
+else
+    echo "== cluster ingest: $CRATE lines/s, scaling ${SCALING}x on $CORES cores (gate applies at >= 4 cores)"
+fi
+
 STORE_OUT="${BENCH_STORE_OUT:-BENCH_store.json}"
 echo "== columnar store benchmarks (benchtime $BENCHTIME)"
 STORE_RAW="$(mktemp)"
@@ -158,7 +207,7 @@ if [ -z "$HEAP" ]; then
     exit 1
 fi
 
-awk -v heap="$HEAP" '
+awk -v heap="$HEAP" -v gomaxprocs="$MAXPROCS" -v numcpu="$CORES" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -182,6 +231,8 @@ awk -v heap="$HEAP" '
 }
 END {
     printf "{\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"num_cpu\": %s,\n", numcpu
     printf "  \"load_ns_per_op\": %s,\n",     (lns  == "" ? "null" : lns)
     printf "  \"load_bytes_per_op\": %s,\n",  (lb   == "" ? "null" : lb)
     printf "  \"load_allocs_per_op\": %s,\n", (la   == "" ? "null" : la)
@@ -268,7 +319,6 @@ if [ -z "$Q1" ] || [ "$Q1" = "null" ] || [ -z "$QN" ] || [ "$QN" = "null" ]; the
     echo "bench.sh: parallel query figures missing from $STORE_OUT" >&2
     exit 1
 fi
-CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ "$CORES" -ge 4 ]; then
     if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 2) }'; then
         echo "bench.sh: parallel query speedup ${SPEEDUP}x on $CORES cores, gate is 2x (1cpu $Q1 MB/s, ncpu $QN MB/s)" >&2

@@ -6,11 +6,15 @@
 #   titanql equivalences (compiled bitmap-intersected segment-parallel
 #   plans vs the naive event fold, /query soaked during live
 #   compaction), the crash-recovery soak (kill at every failpoint),
-#   short fuzz smokes of the console parser and the titanql parser
+#   the titanfleet cluster soak (4-replica byte-identical merge, router
+#   fan-out during a replica drain/restart, per-source QoS isolation,
+#   alert-evidence superset replay — all race mode), short fuzz smokes
+#   of the console parser, the batch splitter, and the titanql parser
 #   (grammar round-trip + plan equivalence), and the benchmark budgets
 #   (fast-path decode allocs, columnar load bytes/allocs, store heap per
 #   event, journal overhead, mapped scan throughput, rollup allocations,
-#   parallel query speedup on multi-core machines).
+#   parallel query speedup and cluster ingest scaling on multi-core
+#   machines).
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -57,6 +61,10 @@ go test -race ./internal/store -run 'TestOpenRecover|TestOpenRemovesOrphans' -co
 echo "== crash-recovery soak (kill at every failpoint, scripts/crash.sh)"
 ./scripts/crash.sh
 
+echo "== titanfleet cluster soak (merge byte-identity, drain/restart, QoS isolation, race mode)"
+go test -race ./internal/router -count=1
+go test -race ./internal/serve -run 'TestFeedSupersetReplay|TestAlertFeedRestart|TestPerSourceAccountingExact' -count=1
+
 echo "== benchmark smoke (full-period simulation, one iteration)"
 go test . -run '^$' -bench 'BenchmarkSimulationFullPeriod$' -benchtime 1x
 
@@ -65,6 +73,9 @@ go test ./internal/console -run '^$' -fuzz FuzzParseRawLine -fuzztime 5s
 
 echo "== differential fuzz smoke (FuzzDecodeEquivalence, 5s)"
 go test ./internal/console -run '^$' -fuzz FuzzDecodeEquivalence -fuzztime 5s
+
+echo "== batch splitter fuzz smoke (FuzzSplitBatch, 5s)"
+go test ./internal/console -run '^$' -fuzz FuzzSplitBatch -fuzztime 5s
 
 echo "== titanql fuzz smoke (parser round-trip, 5s)"
 go test ./internal/titanql -run '^$' -fuzz FuzzTitanQLParse -fuzztime 5s

@@ -22,6 +22,14 @@ cd "$(dirname "$0")/.."
 
 PORT="${CRASH_PORT:-9321}"
 REF_PORT=$((PORT + 1))
+# A stale listener on either port would answer the health checks in
+# place of the daemons under test and silently absorb every stream.
+for p in "$PORT" "$REF_PORT"; do
+    if curl -sf --max-time 2 "http://127.0.0.1:$p/healthz" >/dev/null 2>&1; then
+        echo "crash.sh: something is already listening on port $p; set CRASH_PORT" >&2
+        exit 1
+    fi
+done
 WORK="$(mktemp -d)"
 DAEMON_PID=""
 REF_PID=""
